@@ -1,0 +1,26 @@
+//! Criterion bench behind Figure 8: basic vs ingress vs egress switch models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symnet_bench::measure_switch;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_switch_models");
+    group.sample_size(10);
+    for &entries in &[440usize, 2_000, 10_000] {
+        for model in ["ingress", "egress"] {
+            group.bench_with_input(
+                BenchmarkId::new(model, entries),
+                &entries,
+                |b, &entries| b.iter(|| measure_switch(model, entries, 20).paths),
+            );
+        }
+    }
+    // The basic model is only benchable at small sizes (DNF in the paper).
+    group.bench_function(BenchmarkId::new("basic", 440usize), |b| {
+        b.iter(|| measure_switch("basic", 440, 20).paths)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench behind the §8.5 department-network verification runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symnet_core::engine::{ExecConfig, SymNet};
+use symnet_models::scenarios::{department, DepartmentConfig};
+use symnet_models::tcp_options::symbolic_options_metadata;
+use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
+use symnet_sefl::Instruction;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec85_department");
+    group.sample_size(10);
+    let (net, topo) = department(DepartmentConfig {
+        access_switches: 6,
+        mac_entries: 600,
+        routes: 50,
+    });
+    let engine = SymNet::with_config(
+        net,
+        ExecConfig {
+            max_hops: 32,
+            ..ExecConfig::default()
+        },
+    );
+    let outbound = Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()]);
+    group.bench_function("office_to_internet", |b| {
+        b.iter(|| engine.inject(topo.office_switch, 0, &outbound).path_count())
+    });
+    group.bench_function("inbound_scan", |b| {
+        b.iter(|| engine.inject(topo.exit_router, 0, &symbolic_l3_tcp_packet()).path_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench behind Table 1: classic symbolic execution of the Figure 1
+//! TCP-options code as the symbolic options length grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symnet_klee::programs::tcp_options_program;
+use symnet_klee::symex::{SymConfig, SymExecutor};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_klee_options");
+    group.sample_size(10);
+    for length in [1u64, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, &len| {
+            b.iter(|| {
+                let mut ex = SymExecutor::new(SymConfig::default());
+                ex.run_symbolic(&tcp_options_program(len), len as usize).path_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind Table 2: core-router analysis with LPM exclusion
+//! constraints at increasing FIB sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symnet_bench::measure_router;
+use symnet_models::router::Fib;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_router");
+    group.sample_size(10);
+    let fib = Fib::synthetic(20_000, 8);
+    for &prefixes in &[200usize, 6_600, 20_000] {
+        group.bench_with_input(
+            BenchmarkId::new("egress", prefixes),
+            &prefixes,
+            |b, &prefixes| b.iter(|| measure_router("egress", &fib, prefixes).paths),
+        );
+    }
+    group.bench_function(BenchmarkId::new("ingress", 200usize), |b| {
+        b.iter(|| measure_router("ingress", &fib, 200).paths)
+    });
+    group.bench_function(BenchmarkId::new("basic", 200usize), |b| {
+        b.iter(|| measure_router("basic", &fib, 200).paths)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench behind Table 3: SymNet vs the HSA baseline on the same
+//! synthetic backbone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symnet_core::engine::SymNet;
+use symnet_hsa::{router_transfer_function, HsaNetwork, Ternary};
+use symnet_models::scenarios::stanford_backbone;
+use symnet_sefl::packet::symbolic_l3_tcp_packet;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_hsa_comparison");
+    group.sample_size(10);
+    let backbone = stanford_backbone(8, 500);
+    group.bench_function("symnet_reachability", |b| {
+        let engine = SymNet::new(backbone.network.clone());
+        b.iter(|| {
+            engine
+                .inject(backbone.access, 0, &symbolic_l3_tcp_packet())
+                .delivered()
+                .count()
+        })
+    });
+    group.bench_function("hsa_reachability", |b| {
+        let mut hsa = HsaNetwork::new();
+        let mut ids = Vec::new();
+        for (name, fib) in &backbone.fibs {
+            let routes: Vec<(u32, u8, usize)> = fib
+                .entries
+                .iter()
+                .map(|e| (e.prefix, e.prefix_len, e.port))
+                .collect();
+            ids.push((name.clone(), hsa.add_node(name.clone(), router_transfer_function(&routes))));
+        }
+        for (name, id) in &ids {
+            if name.starts_with("zone") {
+                hsa.add_link(*id, 0, ids[0].1);
+                hsa.add_link(*id, 1, ids[1].1);
+            }
+        }
+        b.iter(|| hsa.reachability(ids[2].1, Ternary::any(32), 8).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p symnet-bench --bin paper -- all
+//! cargo run --release -p symnet-bench --bin paper -- table1 fig8 table2
+//! cargo run --release -p symnet-bench --bin paper -- --full all
+//! ```
+//!
+//! Without `--full`, reduced workload sizes are used so that every experiment
+//! finishes in seconds on a laptop; `--full` uses the paper-scale parameters
+//! (hundreds of thousands of MAC-table entries and prefixes).
+
+use symnet_bench::{fig8, sec83, sec84, sec85, table1, table2, table3, table4, table5};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = selected.is_empty() || selected.contains(&"all");
+    let want = |name: &str| all || selected.contains(&name);
+
+    if want("table1") {
+        // The paper runs Klee for lengths 1..=7; length 6-7 take a very long
+        // time even for the paper (≥30 minutes), so the quick mode stops at 5.
+        let max_length = if full { 7 } else { 5 };
+        println!("{}", table1(max_length).render());
+    }
+    if want("fig8") {
+        let sizes: &[usize] = if full {
+            &[440, 1_000, 10_000, 100_000, 480_000]
+        } else {
+            &[440, 1_000, 10_000, 50_000]
+        };
+        let basic_cutoff = 1_000;
+        println!("{}", fig8(sizes, basic_cutoff).render());
+    }
+    if want("table2") {
+        let total = if full { 188_500 } else { 20_000 };
+        println!("{}", table2(total, total / 50, total / 2).render());
+    }
+    if want("table3") {
+        let (zones, prefixes) = if full { (14, 10_000) } else { (8, 1_000) };
+        println!("{}", table3(zones, prefixes).render());
+    }
+    if want("table4") {
+        println!("{}", table4(if full { 4 } else { 3 }).render());
+    }
+    if want("table5") {
+        println!("{}", table5().render());
+    }
+    if want("sec83") {
+        println!("{}", sec83().render());
+    }
+    if want("sec84") {
+        println!("{}", sec84().render());
+    }
+    if want("sec85") {
+        let (sw, macs, routes) = if full { (15, 6_000, 400) } else { (6, 600, 50) };
+        println!("{}", sec85(sw, macs, routes).render());
+    }
+}

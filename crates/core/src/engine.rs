@@ -1,0 +1,1105 @@
+//! The symbolic executor.
+//!
+//! [`SymNet::inject`] creates an empty packet, runs the packet-construction
+//! block, delivers the resulting symbolic packet to an input port and then
+//! explores every path through the network: SEFL instructions are interpreted
+//! over [`ExecState`]s, `If`/`Fork` spawn new paths, `Constrain`/`Fail` and
+//! memory-safety violations terminate paths, links move packets between
+//! elements, and the Figure 5 state-inclusion check detects loops.
+
+use crate::error::{DropReason, ExecError};
+use crate::network::{ElementId, Network};
+use crate::state::{ExecState, TraceEntry};
+use crate::symbols::VarAllocator;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use symnet_sefl::field::FieldRef;
+use symnet_sefl::fields;
+use symnet_sefl::instr::Instruction;
+use symnet_solver::{IntervalSet, Solver, SolverConfig, SolverStats};
+
+/// Configuration of a symbolic execution run.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Maximum number of input ports a single path may visit.
+    pub max_hops: usize,
+    /// Whether to run the Figure 5 loop-detection check at every input port.
+    pub detect_loops: bool,
+    /// Header fields compared by the loop detector. The paper notes that
+    /// comparing only the source and destination IP addresses catches
+    /// forwarding loops that a full-state comparison would miss (the TTL
+    /// always differs), so that is the default.
+    pub loop_fields: Vec<FieldRef>,
+    /// Include paths pruned as infeasible `If` branches in the report.
+    pub include_pruned: bool,
+    /// Hard cap on the total number of reported paths (runaway-model guard).
+    pub max_paths: usize,
+    /// Constraint-solver limits.
+    pub solver: SolverConfig,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_hops: 64,
+            detect_loops: true,
+            loop_fields: vec![fields::ip_src().field(), fields::ip_dst().field()],
+            include_pruned: false,
+            max_paths: 100_000,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Where and why a path ended.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathStatus {
+    /// The packet reached an output port with no outgoing link — the path's
+    /// natural end, where reachability queries inspect the state.
+    Delivered {
+        /// Element where the packet ended.
+        element: ElementId,
+        /// Output port index where the packet ended.
+        port: usize,
+    },
+    /// The path terminated early.
+    Dropped {
+        /// Element where the path ended.
+        element: ElementId,
+        /// Why the path ended.
+        reason: DropReason,
+    },
+}
+
+impl PathStatus {
+    /// True if the packet was delivered to an unlinked output port.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PathStatus::Delivered { .. })
+    }
+}
+
+/// One explored execution path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathReport {
+    /// Sequential path identifier.
+    pub id: usize,
+    /// Where and why the path ended.
+    pub status: PathStatus,
+    /// The final execution state (headers, metadata, tags, path condition,
+    /// trace).
+    pub state: ExecState,
+}
+
+impl PathReport {
+    /// True if this path delivered the packet.
+    pub fn is_delivered(&self) -> bool {
+        self.status.is_delivered()
+    }
+
+    /// Ports visited by this path, in order.
+    pub fn ports_visited(&self) -> Vec<&str> {
+        self.state.ports_visited()
+    }
+}
+
+/// The result of one [`SymNet::inject`] call.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Every explored path.
+    pub paths: Vec<PathReport>,
+    /// The symbolic packet as it was right after construction, before entering
+    /// the first input port. Verification queries compare final states against
+    /// this (field invariance, header visibility).
+    pub injected: ExecState,
+    /// Constraint-solver statistics for this run (the paper reports that >90%
+    /// of runtime is solver time).
+    pub solver_stats: SolverStats,
+    /// Wall-clock duration of the run.
+    #[serde(skip)]
+    pub wall_time: Duration,
+}
+
+impl ExecutionReport {
+    /// Paths that delivered the packet to an unlinked output port.
+    pub fn delivered(&self) -> impl Iterator<Item = &PathReport> {
+        self.paths.iter().filter(|p| p.is_delivered())
+    }
+
+    /// Paths delivered at a specific element and output port.
+    pub fn delivered_at(
+        &self,
+        element: ElementId,
+        port: usize,
+    ) -> impl Iterator<Item = &PathReport> + '_ {
+        self.paths.iter().filter(move |p| {
+            p.status
+                == PathStatus::Delivered {
+                    element,
+                    port,
+                }
+        })
+    }
+
+    /// Paths that were dropped, with their reasons.
+    pub fn dropped(&self) -> impl Iterator<Item = &PathReport> {
+        self.paths.iter().filter(|p| !p.is_delivered())
+    }
+
+    /// Paths that ended because a loop was detected.
+    pub fn loops(&self) -> impl Iterator<Item = &PathReport> {
+        self.paths.iter().filter(|p| {
+            matches!(
+                &p.status,
+                PathStatus::Dropped {
+                    reason: DropReason::Loop,
+                    ..
+                }
+            )
+        })
+    }
+
+    /// Total number of explored paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+/// Status of a packet flow while executing one element's code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum FlowStatus {
+    /// Still executing.
+    Running,
+    /// Forwarded to an output port of the current element.
+    SentTo(usize),
+    /// Terminated.
+    Dropped(DropReason),
+}
+
+/// A packet flow inside one element.
+#[derive(Clone, Debug)]
+struct Flow {
+    state: ExecState,
+    status: FlowStatus,
+}
+
+impl Flow {
+    fn running(state: ExecState) -> Self {
+        Flow {
+            state,
+            status: FlowStatus::Running,
+        }
+    }
+
+    fn dropped(state: ExecState, reason: DropReason) -> Self {
+        Flow {
+            state,
+            status: FlowStatus::Dropped(reason),
+        }
+    }
+}
+
+/// A path waiting to be processed at an element input port.
+#[derive(Clone, Debug)]
+struct PendingPath {
+    state: ExecState,
+    element: ElementId,
+    input_port: usize,
+    hops: usize,
+    /// Per-path history of loop-detection snapshots: (element, input port,
+    /// projected feasible set per loop field).
+    history: Vec<(ElementId, usize, Vec<Option<IntervalSet>>)>,
+}
+
+/// Mutable context shared by the interpreter during one injection.
+struct Ctx {
+    solver: Solver,
+    symbols: VarAllocator,
+}
+
+/// The SymNet symbolic execution engine.
+#[derive(Clone, Debug)]
+pub struct SymNet {
+    network: Network,
+    config: ExecConfig,
+}
+
+impl SymNet {
+    /// Creates an engine over a network with the default configuration.
+    pub fn new(network: Network) -> Self {
+        SymNet {
+            network,
+            config: ExecConfig::default(),
+        }
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(network: Network, config: ExecConfig) -> Self {
+        SymNet { network, config }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The execution configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Injects a packet built by `packet` (a construction instruction block,
+    /// see [`symnet_sefl::packet`]) at `element`'s input port `input_port` and
+    /// explores every execution path.
+    pub fn inject(
+        &self,
+        element: ElementId,
+        input_port: usize,
+        packet: &Instruction,
+    ) -> ExecutionReport {
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            solver: Solver::with_config(self.config.solver),
+            symbols: VarAllocator::new(),
+        };
+        let mut results: Vec<PathReport> = Vec::new();
+        let mut worklist: VecDeque<PendingPath> = VecDeque::new();
+
+        // Build the symbolic packet in the context of the injection element.
+        let prefix = local_prefix(&self.network, element);
+        let construction = exec_instr(&mut ctx, &prefix, element, &self.network, packet, ExecState::new());
+        let mut injected = ExecState::new();
+        let mut first = true;
+        for flow in construction {
+            match flow.status {
+                FlowStatus::Running => {
+                    if first {
+                        injected = flow.state.clone();
+                        first = false;
+                    }
+                    worklist.push_back(PendingPath {
+                        state: flow.state,
+                        element,
+                        input_port,
+                        hops: 0,
+                        history: Vec::new(),
+                    });
+                }
+                FlowStatus::SentTo(_) => results.push(PathReport {
+                    id: results.len(),
+                    status: PathStatus::Dropped {
+                        element,
+                        reason: DropReason::Memory(
+                            "packet construction code must not forward".into(),
+                        ),
+                    },
+                    state: flow.state,
+                }),
+                FlowStatus::Dropped(reason) => results.push(PathReport {
+                    id: results.len(),
+                    status: PathStatus::Dropped { element, reason },
+                    state: flow.state,
+                }),
+            }
+        }
+
+        // Main exploration loop.
+        while let Some(pending) = worklist.pop_front() {
+            if results.len() >= self.config.max_paths {
+                break;
+            }
+            self.process_pending(&mut ctx, pending, &mut worklist, &mut results);
+        }
+
+        ExecutionReport {
+            paths: results,
+            injected,
+            solver_stats: ctx.solver.stats().clone(),
+            wall_time: start.elapsed(),
+        }
+    }
+
+    /// Processes one path arrival at an element input port.
+    fn process_pending(
+        &self,
+        ctx: &mut Ctx,
+        pending: PendingPath,
+        worklist: &mut VecDeque<PendingPath>,
+        results: &mut Vec<PathReport>,
+    ) {
+        let PendingPath {
+            mut state,
+            element,
+            input_port,
+            hops,
+            mut history,
+        } = pending;
+        let program = self.network.element(element);
+        let prefix = local_prefix(&self.network, element);
+        state.push_trace(TraceEntry::Port(
+            self.network.port_label(element, true, input_port),
+        ));
+
+        // Loop detection (Figure 5): compare the projected state against every
+        // previous visit of the same port on this path.
+        if self.config.detect_loops {
+            let snapshot = self.loop_snapshot(ctx, &state);
+            let revisit = history
+                .iter()
+                .filter(|(e, p, _)| *e == element && *p == input_port)
+                .any(|(_, _, old)| snapshot_included(old, &snapshot));
+            if revisit {
+                results.push(PathReport {
+                    id: results.len(),
+                    status: PathStatus::Dropped {
+                        element,
+                        reason: DropReason::Loop,
+                    },
+                    state,
+                });
+                return;
+            }
+            history.push((element, input_port, snapshot));
+        }
+
+        let input_code = program.code_for_input(input_port);
+        let flows = exec_instr(ctx, &prefix, element, &self.network, &input_code, state);
+        for flow in flows {
+            match flow.status {
+                FlowStatus::Running => results.push(PathReport {
+                    id: results.len(),
+                    status: PathStatus::Dropped {
+                        element,
+                        reason: DropReason::NotForwarded,
+                    },
+                    state: flow.state,
+                }),
+                FlowStatus::Dropped(reason) => {
+                    self.push_drop(results, element, reason, flow.state)
+                }
+                FlowStatus::SentTo(out_port) => {
+                    self.process_output(
+                        ctx, element, out_port, hops, &history, flow.state, worklist, results,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs output-port code and either follows the link or ends the path.
+    #[allow(clippy::too_many_arguments)]
+    fn process_output(
+        &self,
+        ctx: &mut Ctx,
+        element: ElementId,
+        out_port: usize,
+        hops: usize,
+        history: &[(ElementId, usize, Vec<Option<IntervalSet>>)],
+        mut state: ExecState,
+        worklist: &mut VecDeque<PendingPath>,
+        results: &mut Vec<PathReport>,
+    ) {
+        let program = self.network.element(element);
+        let prefix = local_prefix(&self.network, element);
+        if out_port >= program.output_count {
+            self.push_drop(
+                results,
+                element,
+                DropReason::Memory(format!("forward to missing output port {out_port}")),
+                state,
+            );
+            return;
+        }
+        state.push_trace(TraceEntry::Port(
+            self.network.port_label(element, false, out_port),
+        ));
+        let output_code = program.code_for_output(out_port);
+        let flows = exec_instr(ctx, &prefix, element, &self.network, &output_code, state);
+        for flow in flows {
+            match flow.status {
+                FlowStatus::Dropped(reason) => {
+                    self.push_drop(results, element, reason, flow.state)
+                }
+                FlowStatus::SentTo(_) => self.push_drop(
+                    results,
+                    element,
+                    DropReason::Memory("output-port code must not forward".into()),
+                    flow.state,
+                ),
+                FlowStatus::Running => match self.network.link_from(element, out_port) {
+                    None => results.push(PathReport {
+                        id: results.len(),
+                        status: PathStatus::Delivered {
+                            element,
+                            port: out_port,
+                        },
+                        state: flow.state,
+                    }),
+                    Some((next_element, next_port)) => {
+                        if hops + 1 > self.config.max_hops {
+                            self.push_drop(results, element, DropReason::HopLimit, flow.state);
+                        } else {
+                            worklist.push_back(PendingPath {
+                                state: flow.state,
+                                element: next_element,
+                                input_port: next_port,
+                                hops: hops + 1,
+                                history: history.to_vec(),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn push_drop(
+        &self,
+        results: &mut Vec<PathReport>,
+        element: ElementId,
+        reason: DropReason,
+        state: ExecState,
+    ) {
+        if reason == DropReason::InfeasibleBranch && !self.config.include_pruned {
+            return;
+        }
+        results.push(PathReport {
+            id: results.len(),
+            status: PathStatus::Dropped { element, reason },
+            state,
+        });
+    }
+
+    /// Projects the state onto the configured loop fields: for every field,
+    /// the set of values it can currently take (None if the field is not
+    /// allocated on this path or the projection is unknown).
+    fn loop_snapshot(&self, ctx: &mut Ctx, state: &ExecState) -> Vec<Option<IntervalSet>> {
+        let path = state.path_condition();
+        self.config
+            .loop_fields
+            .iter()
+            .map(|field| match state.read_field(field, "") {
+                Err(_) => None,
+                Ok(slot) => match slot.value {
+                    Value::Concrete(v) => Some(IntervalSet::point(v as i128)),
+                    Value::Sym { var, offset } => ctx
+                        .solver
+                        .feasible_values(&path, var)
+                        .map(|set| set.shift(offset as i128)),
+                },
+            })
+            .collect()
+    }
+}
+
+/// "New state contains all possible values in the old state" (Figure 5.d):
+/// every projected field of the old snapshot must be a subset of the new one.
+fn snapshot_included(old: &[Option<IntervalSet>], new: &[Option<IntervalSet>]) -> bool {
+    if old.len() != new.len() {
+        return false;
+    }
+    let mut comparable = false;
+    for (o, n) in old.iter().zip(new.iter()) {
+        match (o, n) {
+            (Some(o), Some(n)) => {
+                if !o.is_subset_of(n) {
+                    return false;
+                }
+                comparable = true;
+            }
+            (None, None) => {}
+            _ => return false,
+        }
+    }
+    comparable
+}
+
+/// The metadata namespace prefix for local allocations of an element instance.
+fn local_prefix(network: &Network, element: ElementId) -> String {
+    format!("local:{}#{}:", network.element(element).name, element.0)
+}
+
+/// Interprets one instruction over one state, producing the resulting flows.
+fn exec_instr(
+    ctx: &mut Ctx,
+    local_prefix: &str,
+    element: ElementId,
+    network: &Network,
+    instr: &Instruction,
+    mut state: ExecState,
+) -> Vec<Flow> {
+    match instr {
+        Instruction::NoOp => vec![Flow::running(state)],
+        Instruction::Block(instrs) => {
+            let mut flows = vec![Flow::running(state)];
+            for i in instrs {
+                let mut next = Vec::with_capacity(flows.len());
+                for flow in flows {
+                    match flow.status {
+                        FlowStatus::Running => next.extend(exec_instr(
+                            ctx,
+                            local_prefix,
+                            element,
+                            network,
+                            i,
+                            flow.state,
+                        )),
+                        _ => next.push(flow),
+                    }
+                }
+                flows = next;
+            }
+            flows
+        }
+        Instruction::Allocate {
+            field,
+            width,
+            visibility,
+        } => simple(state, |s| {
+            s.allocate_field(field, *width, *visibility, local_prefix)
+        }),
+        Instruction::Deallocate { field, width } => {
+            simple(state, |s| s.deallocate_field(field, *width, local_prefix))
+        }
+        Instruction::Assign { field, expr } => {
+            let width_hint = state
+                .read_field(field, local_prefix)
+                .map(|s| s.width)
+                .unwrap_or(crate::state::DEFAULT_META_WIDTH);
+            let value = match state.eval_expr(expr, &mut ctx.symbols, width_hint, local_prefix) {
+                Ok(v) => v,
+                Err(e) => return vec![Flow::dropped(state, DropReason::Memory(e.to_string()))],
+            };
+            state.push_trace(TraceEntry::Instruction(format!("Assign({field},{expr})")));
+            simple(state, |s| s.write_field(field, value, local_prefix))
+        }
+        Instruction::CreateTag { name, value } => {
+            let addr = match state.resolve_addr(value) {
+                Ok(a) => a,
+                Err(e) => return vec![Flow::dropped(state, DropReason::Memory(e.to_string()))],
+            };
+            state.create_tag(name.clone(), addr);
+            vec![Flow::running(state)]
+        }
+        Instruction::DestroyTag { name } => simple(state, |s| s.destroy_tag(name)),
+        Instruction::Constrain(cond) => {
+            let lowered = match state.lower_condition(cond, &mut ctx.symbols, local_prefix) {
+                Ok(f) => f,
+                Err(e) => return vec![Flow::dropped(state, DropReason::Memory(e.to_string()))],
+            };
+            state.push_trace(TraceEntry::Instruction(format!("Constrain({cond})")));
+            state.add_constraint(lowered);
+            if ctx.solver.is_unsat(&state.path_condition()) {
+                let detail = cond.to_string();
+                vec![Flow::dropped(state, DropReason::Unsatisfiable(detail))]
+            } else {
+                vec![Flow::running(state)]
+            }
+        }
+        Instruction::Fail(msg) => {
+            state.push_trace(TraceEntry::Message(msg.clone()));
+            vec![Flow::dropped(state, DropReason::Failed(msg.clone()))]
+        }
+        Instruction::If { .. } => {
+            // If-chains (an `If` whose else branch is another `If`) are walked
+            // iteratively: the basic switch/router models of §8.1 nest one `If`
+            // per table entry, and recursing per entry would overflow the
+            // stack on large tables.
+            let mut flows = Vec::new();
+            let mut current = instr;
+            let mut current_state = state;
+            loop {
+                let Instruction::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } = current
+                else {
+                    flows.extend(exec_instr(
+                        ctx,
+                        local_prefix,
+                        element,
+                        network,
+                        current,
+                        current_state,
+                    ));
+                    break;
+                };
+                let lowered =
+                    match current_state.lower_condition(cond, &mut ctx.symbols, local_prefix) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            flows.push(Flow::dropped(
+                                current_state,
+                                DropReason::Memory(e.to_string()),
+                            ));
+                            break;
+                        }
+                    };
+                // Then branch.
+                let mut then_state = current_state.clone();
+                then_state.push_trace(TraceEntry::Instruction(format!("If({cond}) [then]")));
+                then_state.add_constraint(lowered.clone());
+                if ctx.solver.is_unsat(&then_state.path_condition()) {
+                    flows.push(Flow::dropped(then_state, DropReason::InfeasibleBranch));
+                } else {
+                    flows.extend(exec_instr(
+                        ctx,
+                        local_prefix,
+                        element,
+                        network,
+                        then_branch,
+                        then_state,
+                    ));
+                }
+                // Else branch: continue the walk without recursing.
+                current_state.push_trace(TraceEntry::Instruction(format!("If({cond}) [else]")));
+                current_state.add_constraint(symnet_solver::Formula::not(lowered));
+                if ctx.solver.is_unsat(&current_state.path_condition()) {
+                    flows.push(Flow::dropped(current_state, DropReason::InfeasibleBranch));
+                    break;
+                }
+                current = else_branch;
+            }
+            flows
+        }
+        Instruction::For { var, pattern, body } => {
+            // Snapshot the matching keys before the first iteration (the loop
+            // body may create or destroy entries).
+            let mut keys: Vec<String> = state
+                .metadata()
+                .map(|(k, _)| k.to_string())
+                .filter_map(|k| {
+                    let visible = k.strip_prefix(local_prefix).unwrap_or(&k);
+                    if visible.starts_with("local:") {
+                        None
+                    } else if crate::state::glob_match(pattern, visible) {
+                        Some(visible.to_string())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            keys.sort();
+            keys.dedup();
+            let mut flows = vec![Flow::running(state)];
+            for key in keys {
+                let bound = substitute_meta(body, var, &key);
+                let mut next = Vec::with_capacity(flows.len());
+                for flow in flows {
+                    match flow.status {
+                        FlowStatus::Running => next.extend(exec_instr(
+                            ctx,
+                            local_prefix,
+                            element,
+                            network,
+                            &bound,
+                            flow.state,
+                        )),
+                        _ => next.push(flow),
+                    }
+                }
+                flows = next;
+            }
+            flows
+        }
+        Instruction::Forward(port) => {
+            state.push_trace(TraceEntry::Instruction(format!("Forward(OutputPort({port}))")));
+            vec![Flow {
+                state,
+                status: FlowStatus::SentTo(*port),
+            }]
+        }
+        Instruction::Fork(ports) => {
+            if ports.is_empty() {
+                return vec![Flow::dropped(state, DropReason::NotForwarded)];
+            }
+            state.push_trace(TraceEntry::Instruction(format!("Fork({ports:?})")));
+            ports
+                .iter()
+                .map(|p| Flow {
+                    state: state.clone(),
+                    status: FlowStatus::SentTo(*p),
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs a state mutation that may raise a memory-safety error, converting the
+/// error into a dropped flow.
+fn simple(
+    mut state: ExecState,
+    op: impl FnOnce(&mut ExecState) -> Result<(), ExecError>,
+) -> Vec<Flow> {
+    match op(&mut state) {
+        Ok(()) => vec![Flow::running(state)],
+        Err(e) => vec![Flow::dropped(state, DropReason::Memory(e.to_string()))],
+    }
+}
+
+/// Rewrites metadata references named `from` to `to` inside an instruction
+/// tree — how `For` binds its loop variable.
+fn substitute_meta(instr: &Instruction, from: &str, to: &str) -> Instruction {
+    use symnet_sefl::cond::Condition;
+    use symnet_sefl::expr::Expr;
+
+    fn sub_field(f: &FieldRef, from: &str, to: &str) -> FieldRef {
+        match f {
+            FieldRef::Meta(k) if k == from => FieldRef::Meta(to.to_string()),
+            other => other.clone(),
+        }
+    }
+    fn sub_expr(e: &Expr, from: &str, to: &str) -> Expr {
+        match e {
+            Expr::Ref(f) => Expr::Ref(sub_field(f, from, to)),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(sub_expr(a, from, to)),
+                Box::new(sub_expr(b, from, to)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(sub_expr(a, from, to)),
+                Box::new(sub_expr(b, from, to)),
+            ),
+            Expr::Neg(a) => Expr::Neg(Box::new(sub_expr(a, from, to))),
+            other => other.clone(),
+        }
+    }
+    fn sub_cond(c: &Condition, from: &str, to: &str) -> Condition {
+        match c {
+            Condition::Cmp { op, lhs, rhs } => Condition::Cmp {
+                op: *op,
+                lhs: sub_expr(lhs, from, to),
+                rhs: sub_expr(rhs, from, to),
+            },
+            Condition::Match {
+                field,
+                value,
+                prefix_len,
+                width,
+            } => Condition::Match {
+                field: sub_field(field, from, to),
+                value: *value,
+                prefix_len: *prefix_len,
+                width: *width,
+            },
+            Condition::And(parts) => {
+                Condition::And(parts.iter().map(|p| sub_cond(p, from, to)).collect())
+            }
+            Condition::Or(parts) => {
+                Condition::Or(parts.iter().map(|p| sub_cond(p, from, to)).collect())
+            }
+            Condition::Not(inner) => Condition::Not(Box::new(sub_cond(inner, from, to))),
+            other => other.clone(),
+        }
+    }
+
+    match instr {
+        Instruction::Allocate {
+            field,
+            width,
+            visibility,
+        } => Instruction::Allocate {
+            field: sub_field(field, from, to),
+            width: *width,
+            visibility: *visibility,
+        },
+        Instruction::Deallocate { field, width } => Instruction::Deallocate {
+            field: sub_field(field, from, to),
+            width: *width,
+        },
+        Instruction::Assign { field, expr } => Instruction::Assign {
+            field: sub_field(field, from, to),
+            expr: sub_expr(expr, from, to),
+        },
+        Instruction::Constrain(cond) => Instruction::Constrain(sub_cond(cond, from, to)),
+        Instruction::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Instruction::If {
+            cond: sub_cond(cond, from, to),
+            then_branch: Box::new(substitute_meta(then_branch, from, to)),
+            else_branch: Box::new(substitute_meta(else_branch, from, to)),
+        },
+        Instruction::For { var, pattern, body } if var != from => Instruction::For {
+            var: var.clone(),
+            pattern: pattern.clone(),
+            body: Box::new(substitute_meta(body, from, to)),
+        },
+        Instruction::Block(instrs) => Instruction::Block(
+            instrs
+                .iter()
+                .map(|i| substitute_meta(i, from, to))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use symnet_sefl::cond::Condition;
+    use symnet_sefl::expr::Expr;
+    use symnet_sefl::fields::{ip_dst, ip_ttl, tcp_dst};
+    use symnet_sefl::packet::symbolic_tcp_packet;
+    use symnet_sefl::ElementProgram;
+
+    /// The port-forwarding element of Figure 4 of the paper.
+    fn figure4_element() -> ElementProgram {
+        ElementProgram::new("A", 1, 3).with_any_input_code(Instruction::block(vec![
+            Instruction::constrain(Condition::eq(ip_dst().field(), 0x8d552501u64)), // 141.85.37.1
+            Instruction::if_else(
+                Condition::eq(tcp_dst().field(), 123u64),
+                Instruction::block(vec![
+                    Instruction::assign(ip_dst().field(), Expr::constant(0xc0a80164)), // 192.168.1.100
+                    Instruction::assign(tcp_dst().field(), Expr::constant(22)),
+                    Instruction::forward(1),
+                ]),
+                Instruction::forward(2),
+            ),
+        ]))
+    }
+
+    #[test]
+    fn figure4_port_forwarding_produces_two_paths() {
+        let mut net = Network::new();
+        let a = net.add_element(figure4_element());
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 0, &symbolic_tcp_packet());
+        // One path per reachable output port (1 and 2), none on port 0.
+        assert_eq!(report.delivered().count(), 2);
+        assert_eq!(report.delivered_at(a, 1).count(), 1);
+        assert_eq!(report.delivered_at(a, 2).count(), 1);
+        assert_eq!(report.delivered_at(a, 0).count(), 0);
+        // On the rewritten path the destination address is concrete.
+        let rewritten = report.delivered_at(a, 1).next().unwrap();
+        let dst = rewritten.state.read_field(&ip_dst().field(), "").unwrap();
+        assert_eq!(dst.value, Value::Concrete(0xc0a80164));
+        let port = rewritten.state.read_field(&tcp_dst().field(), "").unwrap();
+        assert_eq!(port.value, Value::Concrete(22));
+        // On the other path both fields keep their symbolic values (invariant).
+        let other = report.delivered_at(a, 2).next().unwrap();
+        assert_eq!(
+            verify::field_invariant(&report.injected, other, &tcp_dst().field()),
+            Ok(verify::Tristate::Always)
+        );
+    }
+
+    #[test]
+    fn constrain_filters_without_branching() {
+        // §4: dropping non-HTTP packets adds a constraint, it does not branch.
+        let mut net = Network::new();
+        let fw = net.add_element(ElementProgram::new("fw", 1, 1).with_any_input_code(
+            Instruction::block(vec![
+                Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+                Instruction::forward(0),
+            ]),
+        ));
+        let engine = SymNet::new(net);
+        let report = engine.inject(fw, 0, &symbolic_tcp_packet());
+        assert_eq!(report.path_count(), 1);
+        assert_eq!(report.delivered().count(), 1);
+        // A packet already constrained to port 22 is dropped entirely.
+        let ssh_packet = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::constrain(Condition::eq(tcp_dst().field(), 22u64)),
+        ]);
+        let report = engine.inject(fw, 0, &ssh_packet);
+        assert_eq!(report.delivered().count(), 0);
+        assert_eq!(report.path_count(), 1);
+        assert!(matches!(
+            report.paths[0].status,
+            PathStatus::Dropped {
+                reason: DropReason::Unsatisfiable(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn packets_cross_links_between_elements() {
+        let mut net = Network::new();
+        let a = net.add_element(
+            ElementProgram::new("A", 1, 1).with_any_input_code(Instruction::block(vec![
+                Instruction::assign(ip_ttl().field(), Expr::reference(ip_ttl().field()).minus(1)),
+                Instruction::forward(0),
+            ])),
+        );
+        let b = net.add_element(
+            ElementProgram::new("B", 1, 1).with_any_input_code(Instruction::block(vec![
+                Instruction::constrain(Condition::ge(ip_ttl().field(), 1u64)),
+                Instruction::forward(0),
+            ])),
+        );
+        net.add_link(a, 0, b, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 0, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 1);
+        let path = report.delivered().next().unwrap();
+        assert_eq!(
+            path.status,
+            PathStatus::Delivered { element: b, port: 0 }
+        );
+        // The path visited A then B.
+        let ports = path.ports_visited();
+        assert!(ports[0].starts_with("A:InputPort"));
+        assert!(ports.iter().any(|p| p.starts_with("B:InputPort")));
+    }
+
+    #[test]
+    fn memory_safety_stops_bad_access() {
+        // Reading a TCP field from an IP-only packet fails the path.
+        let mut net = Network::new();
+        let e = net.add_element(ElementProgram::new("box", 1, 1).with_any_input_code(
+            Instruction::block(vec![
+                Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+                Instruction::forward(0),
+            ]),
+        ));
+        let engine = SymNet::new(net);
+        let report = engine.inject(e, 0, &symnet_sefl::packet::symbolic_ip_packet());
+        assert_eq!(report.delivered().count(), 0);
+        assert!(matches!(
+            &report.paths[0].status,
+            PathStatus::Dropped {
+                reason: DropReason::Memory(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fork_duplicates_to_every_port() {
+        let mut net = Network::new();
+        let sw = net.add_element(
+            ElementProgram::new("sw", 1, 3)
+                .with_any_input_code(Instruction::fork(vec![0, 1, 2])),
+        );
+        let engine = SymNet::new(net);
+        let report = engine.inject(sw, 0, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 3);
+    }
+
+    #[test]
+    fn loop_detection_stops_forwarding_loops() {
+        // A → B → A with no header modification loops forever without the
+        // Figure 5 check.
+        let mut net = Network::new();
+        let a = net.add_element(
+            ElementProgram::new("A", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        let b = net.add_element(
+            ElementProgram::new("B", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        net.add_link(a, 0, b, 0);
+        net.add_link(b, 0, a, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 0, &symbolic_tcp_packet());
+        assert_eq!(report.loops().count(), 1);
+        assert_eq!(report.delivered().count(), 0);
+    }
+
+    #[test]
+    fn hop_limit_bounds_exploration_when_loop_detection_is_off() {
+        let mut net = Network::new();
+        let a = net.add_element(
+            ElementProgram::new("A", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        let b = net.add_element(
+            ElementProgram::new("B", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        net.add_link(a, 0, b, 0);
+        net.add_link(b, 0, a, 0);
+        let config = ExecConfig {
+            detect_loops: false,
+            max_hops: 10,
+            ..Default::default()
+        };
+        let engine = SymNet::with_config(net, config);
+        let report = engine.inject(a, 0, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 0);
+        assert!(report.paths.iter().any(|p| matches!(
+            p.status,
+            PathStatus::Dropped {
+                reason: DropReason::HopLimit,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn for_loop_iterates_metadata_snapshot() {
+        // Set OPT2 and OPT4, then zero every OPT* entry with a For loop.
+        let mut net = Network::new();
+        let e = net.add_element(ElementProgram::new("opts", 1, 1).with_any_input_code(
+            Instruction::block(vec![
+                Instruction::for_each(
+                    "o",
+                    "OPT*",
+                    Instruction::assign(FieldRef::meta("o"), Expr::constant(0)),
+                ),
+                Instruction::forward(0),
+            ]),
+        ));
+        let packet = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::allocate_meta("OPT2", 8),
+            Instruction::assign(FieldRef::meta("OPT2"), Expr::constant(1)),
+            Instruction::allocate_meta("OPT4", 8),
+            Instruction::assign(FieldRef::meta("OPT4"), Expr::constant(1)),
+            Instruction::allocate_meta("SIZE2", 8),
+            Instruction::assign(FieldRef::meta("SIZE2"), Expr::constant(4)),
+        ]);
+        let engine = SymNet::new(net);
+        let report = engine.inject(e, 0, &packet);
+        assert_eq!(report.delivered().count(), 1);
+        let path = report.delivered().next().unwrap();
+        assert_eq!(
+            path.state.read_meta("OPT2").unwrap().value,
+            Value::Concrete(0)
+        );
+        assert_eq!(
+            path.state.read_meta("OPT4").unwrap().value,
+            Value::Concrete(0)
+        );
+        // Non-matching keys are untouched.
+        assert_eq!(
+            path.state.read_meta("SIZE2").unwrap().value,
+            Value::Concrete(4)
+        );
+    }
+
+    #[test]
+    fn infeasible_branches_are_hidden_by_default() {
+        let mut net = Network::new();
+        let e = net.add_element(ElementProgram::new("box", 1, 2).with_any_input_code(
+            Instruction::block(vec![
+                Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+                Instruction::if_else(
+                    Condition::eq(tcp_dst().field(), 22u64),
+                    Instruction::forward(0),
+                    Instruction::forward(1),
+                ),
+            ]),
+        ));
+        let engine = SymNet::new(net.clone());
+        let report = engine.inject(e, 0, &symbolic_tcp_packet());
+        // Only the feasible (else) branch shows up.
+        assert_eq!(report.path_count(), 1);
+        assert_eq!(report.delivered_at(e, 1).count(), 1);
+        // With include_pruned the infeasible then-branch is visible too.
+        let engine = SymNet::with_config(
+            net,
+            ExecConfig {
+                include_pruned: true,
+                ..Default::default()
+            },
+        );
+        let report = engine.inject(e, 0, &symbolic_tcp_packet());
+        assert_eq!(report.path_count(), 2);
+    }
+}

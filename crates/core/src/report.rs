@@ -1,0 +1,153 @@
+//! JSON rendering of execution reports.
+//!
+//! "The output of the tool is the list of explored paths in json format. For
+//! every path SymNet lists all variables and their constraints at the end of
+//! the execution as well as all the instructions and ports this path has
+//! visited" (§7.1). [`report_to_json`] produces exactly that, keyed by the
+//! standard field shorthands of Figure 6 where the packet layout allows it.
+
+use crate::engine::{ExecutionReport, PathReport, PathStatus};
+use crate::network::Network;
+use crate::state::TraceEntry;
+use serde_json::{json, Value as Json};
+use symnet_sefl::fields;
+
+/// Renders a full execution report as a JSON value.
+pub fn report_to_json(report: &ExecutionReport, network: &Network) -> Json {
+    json!({
+        "paths": report.paths.iter().map(|p| path_to_json(p, network)).collect::<Vec<_>>(),
+        "path_count": report.path_count(),
+        "delivered_count": report.delivered().count(),
+        "solver": {
+            "calls": report.solver_stats.calls,
+            "sat": report.solver_stats.sat,
+            "unsat": report.solver_stats.unsat,
+            "unknown": report.solver_stats.unknown,
+            "time_in_solver_us": report.solver_stats.time_in_solver.as_micros() as u64,
+        },
+        "wall_time_us": report.wall_time.as_micros() as u64,
+    })
+}
+
+/// Renders a full execution report as pretty-printed JSON text.
+pub fn report_to_json_string(report: &ExecutionReport, network: &Network) -> String {
+    serde_json::to_string_pretty(&report_to_json(report, network))
+        .expect("report JSON serialisation cannot fail")
+}
+
+/// Renders one path as a JSON value.
+pub fn path_to_json(path: &PathReport, network: &Network) -> Json {
+    let status = match &path.status {
+        PathStatus::Delivered { element, port } => json!({
+            "kind": "delivered",
+            "element": network.element(*element).name,
+            "port": port,
+        }),
+        PathStatus::Dropped { element, reason } => json!({
+            "kind": "dropped",
+            "element": network.element(*element).name,
+            "reason": reason.to_string(),
+        }),
+    };
+
+    // Header fields, resolved via the standard Figure 6 shorthands when the
+    // path's tags make them addressable.
+    let mut headers = serde_json::Map::new();
+    let known = [
+        fields::ether_dst(),
+        fields::ether_src(),
+        fields::ether_type(),
+        fields::vlan_id(),
+        fields::ip_length(),
+        fields::ip_ttl(),
+        fields::ip_proto(),
+        fields::ip_src(),
+        fields::ip_dst(),
+        fields::tcp_src(),
+        fields::tcp_dst(),
+        fields::tcp_seq(),
+        fields::tcp_payload(),
+        fields::udp_src(),
+        fields::udp_dst(),
+    ];
+    for f in known {
+        if let Ok(addr) = path.state.resolve_addr(&f.addr) {
+            if let Ok(slot) = path.state.read_header(addr) {
+                headers.insert(f.name.to_string(), json!(slot.value.to_string()));
+            }
+        }
+    }
+
+    let metadata: serde_json::Map<String, Json> = path
+        .state
+        .metadata()
+        .map(|(k, slot)| (k.to_string(), json!(slot.value.to_string())))
+        .collect();
+
+    let constraints: Vec<String> = match path.state.path_condition() {
+        symnet_solver::Formula::And(parts) => parts.iter().map(|f| f.to_string()).collect(),
+        symnet_solver::Formula::True => Vec::new(),
+        other => vec![other.to_string()],
+    };
+
+    let trace: Vec<String> = path
+        .state
+        .trace()
+        .iter()
+        .map(|e| match e {
+            TraceEntry::Port(p) => format!("port {p}"),
+            TraceEntry::Instruction(i) => i.clone(),
+            TraceEntry::Message(m) => format!("message: {m}"),
+        })
+        .collect();
+
+    json!({
+        "id": path.id,
+        "status": status,
+        "ports": path.ports_visited(),
+        "headers": headers,
+        "metadata": metadata,
+        "constraints": constraints,
+        "trace": trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SymNet;
+    use crate::network::Network;
+    use symnet_sefl::cond::Condition;
+    use symnet_sefl::fields::tcp_dst;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+    use symnet_sefl::{ElementProgram, Instruction};
+
+    #[test]
+    fn report_serialises_paths_headers_and_constraints() {
+        let mut net = Network::new();
+        let fw = net.add_element(ElementProgram::new("fw", 1, 1).with_any_input_code(
+            Instruction::block(vec![
+                Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+                Instruction::forward(0),
+            ]),
+        ));
+        let engine = SymNet::new(net);
+        let report = engine.inject(fw, 0, &symbolic_tcp_packet());
+        let json = report_to_json(&report, engine.network());
+        assert_eq!(json["path_count"], 1);
+        assert_eq!(json["delivered_count"], 1);
+        let path = &json["paths"][0];
+        assert_eq!(path["status"]["kind"], "delivered");
+        assert_eq!(path["status"]["element"], "fw");
+        assert!(path["headers"]["TcpDst"].is_string());
+        assert!(path["constraints"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|c| c.as_str().unwrap().contains("== 80")));
+        assert!(!path["ports"].as_array().unwrap().is_empty());
+        // Pretty printing produces valid JSON text.
+        let text = report_to_json_string(&report, engine.network());
+        assert!(text.contains("\"TcpDst\""));
+    }
+}

@@ -1,0 +1,169 @@
+//! Concrete interpreter for MinC — the "real implementation" that the
+//! automated-testing framework replays concrete packets through, and the
+//! reference semantics for the symbolic executor.
+
+use crate::minc::{BinOp, Expr, Program, Stmt};
+use std::collections::BTreeMap;
+
+/// Result of a concrete run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcreteResult {
+    /// The value returned by the program (`Return`), if any; programs that
+    /// fall off the end return `true` (the options code's "allow" default).
+    pub returned: bool,
+    /// Final contents of the byte array.
+    pub array: Vec<u8>,
+    /// Final scalar values.
+    pub scalars: BTreeMap<String, u64>,
+    /// Number of statements executed (used to bound runaway loops).
+    pub steps: usize,
+}
+
+/// Maximum number of statements a concrete run may execute.
+pub const MAX_STEPS: usize = 100_000;
+
+/// Runs a program concretely on the given byte array.
+pub fn run(program: &Program, array: &[u8]) -> ConcreteResult {
+    let mut scalars: BTreeMap<String, u64> = program.scalars.iter().cloned().collect();
+    let mut array = array.to_vec();
+    let mut steps = 0usize;
+    let returned = exec_block(&program.body, &mut scalars, &mut array, &mut steps);
+    ConcreteResult {
+        returned: returned.unwrap_or(true),
+        array,
+        scalars,
+        steps,
+    }
+}
+
+fn exec_block(
+    stmts: &[Stmt],
+    scalars: &mut BTreeMap<String, u64>,
+    array: &mut Vec<u8>,
+    steps: &mut usize,
+) -> Option<bool> {
+    for stmt in stmts {
+        *steps += 1;
+        if *steps > MAX_STEPS {
+            return Some(false);
+        }
+        match stmt {
+            Stmt::Assign(name, expr) => {
+                let value = eval(expr, scalars, array);
+                scalars.insert(name.clone(), value);
+            }
+            Stmt::Store(index, value) => {
+                let i = eval(index, scalars, array) as usize;
+                let v = eval(value, scalars, array) as u8;
+                if i < array.len() {
+                    array[i] = v;
+                }
+            }
+            Stmt::If(cond, then_block, else_block) => {
+                let taken = eval(cond, scalars, array) != 0;
+                let block = if taken { then_block } else { else_block };
+                if let Some(r) = exec_block(block, scalars, array, steps) {
+                    return Some(r);
+                }
+            }
+            Stmt::While(cond, body) => {
+                while eval(cond, scalars, array) != 0 {
+                    *steps += 1;
+                    if *steps > MAX_STEPS {
+                        return Some(false);
+                    }
+                    if let Some(r) = exec_block(body, scalars, array, steps) {
+                        return Some(r);
+                    }
+                }
+            }
+            Stmt::Return(value) => return Some(*value),
+        }
+    }
+    None
+}
+
+fn eval(expr: &Expr, scalars: &BTreeMap<String, u64>, array: &[u8]) -> u64 {
+    match expr {
+        Expr::Const(c) => *c,
+        Expr::Var(name) => *scalars.get(name).unwrap_or(&0),
+        Expr::Load(index) => {
+            let i = eval(index, scalars, array) as usize;
+            array.get(i).copied().unwrap_or(0) as u64
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let l = eval(lhs, scalars, array);
+            let r = eval(rhs, scalars, array);
+            match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.saturating_sub(r),
+                BinOp::Eq => (l == r) as u64,
+                BinOp::Ne => (l != r) as u64,
+                BinOp::Lt => (l < r) as u64,
+                BinOp::Gt => (l > r) as u64,
+                BinOp::Or => ((l != 0) || (r != 0)) as u64,
+                BinOp::And => ((l != 0) && (r != 0)) as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minc::{BinOp, Expr, Program, Stmt};
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // x = a[0] + 2; if (x > 3) return true else return false
+        let prog = Program::new(
+            vec![("x", 0)],
+            vec![
+                Stmt::Assign(
+                    "x".into(),
+                    Expr::bin(BinOp::Add, Expr::load(Expr::c(0)), Expr::c(2)),
+                ),
+                Stmt::If(
+                    Expr::bin(BinOp::Gt, Expr::v("x"), Expr::c(3)),
+                    vec![Stmt::Return(true)],
+                    vec![Stmt::Return(false)],
+                ),
+            ],
+        );
+        assert!(run(&prog, &[5]).returned);
+        assert!(!run(&prog, &[1]).returned);
+    }
+
+    #[test]
+    fn loops_and_stores() {
+        // i = 0; while (i < 4) { a[i] = 7; i = i + 1 }
+        let prog = Program::new(
+            vec![("i", 0)],
+            vec![Stmt::While(
+                Expr::bin(BinOp::Lt, Expr::v("i"), Expr::c(4)),
+                vec![
+                    Stmt::Store(Expr::v("i"), Expr::c(7)),
+                    Stmt::Assign("i".into(), Expr::bin(BinOp::Add, Expr::v("i"), Expr::c(1))),
+                ],
+            )],
+        );
+        let result = run(&prog, &[0, 0, 0, 0, 9]);
+        assert_eq!(result.array, vec![7, 7, 7, 7, 9]);
+        assert!(result.returned, "falling off the end returns true");
+    }
+
+    #[test]
+    fn out_of_bounds_accesses_are_harmless() {
+        let prog = Program::new(
+            vec![],
+            vec![
+                Stmt::Store(Expr::c(100), Expr::c(1)),
+                Stmt::Assign("x".into(), Expr::load(Expr::c(100))),
+                Stmt::Return(true),
+            ],
+        );
+        let result = run(&prog, &[0]);
+        assert_eq!(result.array, vec![0]);
+        assert_eq!(result.scalars["x"], 0);
+    }
+}

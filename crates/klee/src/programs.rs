@@ -1,0 +1,178 @@
+//! MinC transliterations of the C snippets the paper evaluates — chiefly the
+//! Figure 1 CISCO ASA TCP-options parsing loop.
+
+use crate::minc::{BinOp, Expr, Program, Stmt};
+
+/// TCP option kinds treated as ALLOW by the default ASA configuration.
+pub const ALLOWED_OPTIONS: [u64; 4] = [2, 3, 4, 8];
+/// TCP option kind treated as DROP by the default configuration (TCP MD5).
+pub const DROPPED_OPTION: u64 = 19;
+
+/// The Figure 1 options-parsing loop, operating on a byte array of
+/// `length` option bytes:
+///
+/// ```c
+/// while (length > 0) {
+///   opcode = *ptr;
+///   switch (opcode) {
+///     case TCPOPT_EOL: return True;
+///     case TCPOPT_NOP: length--; ptr++; continue;
+///     default:
+///       opsize = *(ptr+1);
+///       if ((opsize < 2) || (opsize > length)) { /* nop everything */ }
+///       switch (_options[opcode]) {
+///         case DROP: return False;
+///         case ALLOW: break;
+///         case STRIP: /* overwrite with NOPs */
+///       }
+///   }
+///   ptr += opsize; length -= opsize;
+/// }
+/// ```
+pub fn tcp_options_program(length: u64) -> Program {
+    let opcode_allowed = ALLOWED_OPTIONS
+        .iter()
+        .map(|k| Expr::bin(BinOp::Eq, Expr::v("opcode"), Expr::c(*k)))
+        .reduce(|a, b| Expr::bin(BinOp::Or, a, b))
+        .expect("non-empty allow list");
+
+    // for (i = 0; i < bound; i++) ptr[i] = 1;
+    let nop_fill = |bound: Expr| {
+        vec![
+            Stmt::Assign("i".into(), Expr::c(0)),
+            Stmt::While(
+                Expr::bin(BinOp::Lt, Expr::v("i"), bound),
+                vec![
+                    Stmt::Store(Expr::bin(BinOp::Add, Expr::v("ptr"), Expr::v("i")), Expr::c(1)),
+                    Stmt::Assign("i".into(), Expr::bin(BinOp::Add, Expr::v("i"), Expr::c(1))),
+                ],
+            ),
+        ]
+    };
+
+    let default_case = {
+        let mut stmts = vec![Stmt::Assign(
+            "opsize".into(),
+            Expr::load(Expr::bin(BinOp::Add, Expr::v("ptr"), Expr::c(1))),
+        )];
+        // Invalid length: NOP out the rest of the options field.
+        let mut invalid = nop_fill(Expr::v("length"));
+        invalid.push(Stmt::Assign("length".into(), Expr::c(0)));
+        let mut valid = vec![Stmt::If(
+            opcode_allowed,
+            vec![], // ALLOW: keep the option
+            vec![Stmt::If(
+                Expr::bin(BinOp::Eq, Expr::v("opcode"), Expr::c(DROPPED_OPTION)),
+                vec![Stmt::Return(false)], // DROP
+                nop_fill(Expr::v("opsize")), // STRIP
+            )],
+        )];
+        valid.push(Stmt::Assign(
+            "ptr".into(),
+            Expr::bin(BinOp::Add, Expr::v("ptr"), Expr::v("opsize")),
+        ));
+        valid.push(Stmt::Assign(
+            "length".into(),
+            Expr::bin(BinOp::Sub, Expr::v("length"), Expr::v("opsize")),
+        ));
+        stmts.push(Stmt::If(
+            Expr::bin(
+                BinOp::Or,
+                Expr::bin(BinOp::Lt, Expr::v("opsize"), Expr::c(2)),
+                Expr::bin(BinOp::Gt, Expr::v("opsize"), Expr::v("length")),
+            ),
+            invalid,
+            valid,
+        ));
+        stmts
+    };
+
+    let body = vec![
+        Stmt::While(
+            Expr::bin(BinOp::Gt, Expr::v("length"), Expr::c(0)),
+            vec![
+                Stmt::Assign("opcode".into(), Expr::load(Expr::v("ptr"))),
+                Stmt::If(
+                    Expr::bin(BinOp::Eq, Expr::v("opcode"), Expr::c(0)),
+                    vec![Stmt::Return(true)], // EOL
+                    vec![Stmt::If(
+                        Expr::bin(BinOp::Eq, Expr::v("opcode"), Expr::c(1)),
+                        vec![
+                            // NOP: consume one byte.
+                            Stmt::Assign(
+                                "length".into(),
+                                Expr::bin(BinOp::Sub, Expr::v("length"), Expr::c(1)),
+                            ),
+                            Stmt::Assign(
+                                "ptr".into(),
+                                Expr::bin(BinOp::Add, Expr::v("ptr"), Expr::c(1)),
+                            ),
+                        ],
+                        default_case,
+                    )],
+                ),
+            ],
+        ),
+        Stmt::Return(true),
+    ];
+
+    Program::new(
+        vec![
+            ("length", length),
+            ("ptr", 0),
+            ("opcode", 0),
+            ("opsize", 0),
+            ("i", 0),
+        ],
+        body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::symex::{SymConfig, SymExecutor};
+
+    #[test]
+    fn concrete_semantics_match_the_c_code() {
+        // EOL immediately: allowed.
+        let prog = tcp_options_program(3);
+        assert!(interp::run(&prog, &[0, 0, 0]).returned);
+        // A NOP then an allowed MSS option (kind 2, size 2): allowed, intact.
+        let r = interp::run(&prog, &[1, 2, 2]);
+        assert!(r.returned);
+        assert_eq!(r.array, vec![1, 2, 2]);
+        // The MD5 option (kind 19) is dropped.
+        let r = interp::run(&tcp_options_program(2), &[19, 2]);
+        assert!(!r.returned);
+        // An unknown option (kind 7) is stripped: overwritten with NOPs.
+        let r = interp::run(&tcp_options_program(3), &[7, 3, 99]);
+        assert!(r.returned);
+        assert_eq!(r.array, vec![1, 1, 1]);
+        // An option with an invalid size NOPs out the rest of the field.
+        let r = interp::run(&tcp_options_program(3), &[7, 1, 99]);
+        assert!(r.returned);
+        assert_eq!(r.array, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn symbolic_path_count_grows_with_length() {
+        // The Table 1 shape: the number of classic symbolic-execution paths
+        // grows super-linearly with the length of the symbolic options field.
+        let mut counts = Vec::new();
+        for length in 1..=3u64 {
+            let mut ex = SymExecutor::new(SymConfig::default());
+            let report = ex.run_symbolic(&tcp_options_program(length), length as usize);
+            counts.push(report.path_count());
+        }
+        assert!(counts[0] >= 2, "length 1 explores at least EOL/NOP/other");
+        assert!(counts[1] > counts[0]);
+        assert!(counts[2] > counts[1]);
+        // Growth is super-linear (the hallmark of the explosion).
+        assert!(
+            counts[2] - counts[1] > counts[1] - counts[0],
+            "path growth must accelerate: {counts:?}"
+        );
+    }
+}

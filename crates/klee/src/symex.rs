@@ -1,0 +1,594 @@
+//! Classic (per-branch forking) symbolic execution of MinC.
+//!
+//! This is the baseline SymNet argues against: every feasible branch of an
+//! `if`/`while`, every symbolic array index and every non-linear arithmetic
+//! operation forks the execution, so the number of paths grows exponentially
+//! with the length of the symbolic input (Table 1 of the paper). The executor
+//! shares the constraint solver with the rest of the workspace.
+
+use crate::minc::{BinOp, Expr, Program, Stmt};
+use std::collections::BTreeMap;
+use symnet_solver::{CmpOp, Formula, Solver, SymVar, Term};
+
+/// A concrete-or-symbolic scalar value (8/64-bit unsigned semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SVal {
+    /// Concrete value.
+    C(i64),
+    /// Symbolic variable plus offset.
+    S {
+        /// Variable.
+        var: SymVar,
+        /// Offset.
+        off: i64,
+    },
+}
+
+impl SVal {
+    fn term(&self) -> Term {
+        match self {
+            SVal::C(c) => Term::Const(*c as i128),
+            SVal::S { var, off } => Term::Var {
+                var: *var,
+                offset: *off as i128,
+            },
+        }
+    }
+
+    fn as_concrete(&self) -> Option<i64> {
+        match self {
+            SVal::C(c) => Some(*c),
+            SVal::S { .. } => None,
+        }
+    }
+}
+
+/// Limits of the symbolic executor.
+#[derive(Clone, Copy, Debug)]
+pub struct SymConfig {
+    /// Stop after this many completed paths (reported as budget exhaustion —
+    /// the equivalent of the paper's "DNF" entries).
+    pub max_paths: usize,
+    /// Maximum unrollings of a single `while` loop per path.
+    pub max_loop_iterations: usize,
+    /// Maximum values enumerated when a symbolic quantity must be concretised
+    /// (array indices, non-linear arithmetic).
+    pub max_concretizations: usize,
+}
+
+impl Default for SymConfig {
+    fn default() -> Self {
+        SymConfig {
+            max_paths: 200_000,
+            max_loop_iterations: 64,
+            max_concretizations: 64,
+        }
+    }
+}
+
+/// How a symbolic path ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymOutcome {
+    /// The program returned this value.
+    Returned(bool),
+    /// The program fell off the end of its body.
+    Completed,
+    /// A per-path budget (loop unrolling) was exhausted.
+    Truncated,
+}
+
+/// One completed symbolic path.
+#[derive(Clone, Debug)]
+pub struct SymPath {
+    /// Path outcome.
+    pub outcome: SymOutcome,
+    /// Number of atoms in the path condition.
+    pub constraint_atoms: usize,
+    /// Final symbolic contents of the byte array.
+    pub array: Vec<SVal>,
+    /// The path condition.
+    pub condition: Formula,
+}
+
+/// The result of a symbolic run.
+#[derive(Clone, Debug)]
+pub struct SymReport {
+    /// Every explored path.
+    pub paths: Vec<SymPath>,
+    /// True if the path budget was exhausted (the run "did not finish").
+    pub budget_exhausted: bool,
+    /// Solver queries issued.
+    pub solver_calls: u64,
+}
+
+impl SymReport {
+    /// Number of explored paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PathState {
+    scalars: BTreeMap<String, SVal>,
+    array: Vec<SVal>,
+    constraints: Vec<Formula>,
+}
+
+impl PathState {
+    fn condition(&self) -> Formula {
+        Formula::and(self.constraints.clone())
+    }
+}
+
+/// The classic symbolic executor.
+pub struct SymExecutor {
+    /// Limits.
+    pub config: SymConfig,
+    solver: Solver,
+    next_var: u64,
+    paths: Vec<SymPath>,
+    budget_exhausted: bool,
+}
+
+impl SymExecutor {
+    /// Creates an executor with the given limits.
+    pub fn new(config: SymConfig) -> Self {
+        SymExecutor {
+            config,
+            solver: Solver::default(),
+            next_var: 0,
+            paths: Vec::new(),
+            budget_exhausted: false,
+        }
+    }
+
+    /// Symbolically executes `program` on a fully symbolic byte array of
+    /// length `array_len`.
+    pub fn run_symbolic(&mut self, program: &Program, array_len: usize) -> SymReport {
+        self.paths.clear();
+        self.budget_exhausted = false;
+        let array: Vec<SVal> = (0..array_len)
+            .map(|_| {
+                let var = SymVar::new(self.next_var, 8);
+                self.next_var += 1;
+                SVal::S { var, off: 0 }
+            })
+            .collect();
+        let state = PathState {
+            scalars: program.scalars.iter().map(|(n, v)| (n.clone(), SVal::C(*v as i64))).collect(),
+            array,
+            constraints: Vec::new(),
+        };
+        let finished = self.exec_block(&program.body, state);
+        for (state, outcome) in finished {
+            self.finish(state, outcome.unwrap_or(SymOutcome::Completed));
+        }
+        SymReport {
+            paths: std::mem::take(&mut self.paths),
+            budget_exhausted: self.budget_exhausted,
+            solver_calls: self.solver.stats().calls,
+        }
+    }
+
+    fn finish(&mut self, state: PathState, outcome: SymOutcome) {
+        if self.paths.len() >= self.config.max_paths {
+            self.budget_exhausted = true;
+            return;
+        }
+        self.paths.push(SymPath {
+            outcome,
+            constraint_atoms: state.condition().atom_count(),
+            array: state.array.clone(),
+            condition: state.condition(),
+        });
+    }
+
+    fn over_budget(&self) -> bool {
+        self.paths.len() >= self.config.max_paths
+    }
+
+    /// Executes a block, returning the states that did not return and the
+    /// states that returned (with their outcome). Returned/truncated states
+    /// are recorded via `finish` as soon as they are known.
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        state: PathState,
+    ) -> Vec<(PathState, Option<SymOutcome>)> {
+        let mut active: Vec<PathState> = vec![state];
+        for stmt in stmts {
+            if self.over_budget() {
+                break;
+            }
+            let mut next_active = Vec::new();
+            for s in active {
+                for (state, outcome) in self.exec_stmt(stmt, s) {
+                    match outcome {
+                        Some(o) => self.finish(state, o),
+                        None => next_active.push(state),
+                    }
+                }
+            }
+            active = next_active;
+        }
+        active.into_iter().map(|s| (s, None)).collect()
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        state: PathState,
+    ) -> Vec<(PathState, Option<SymOutcome>)> {
+        match stmt {
+            Stmt::Return(value) => vec![(state, Some(SymOutcome::Returned(*value)))],
+            Stmt::Assign(name, expr) => {
+                let mut out = Vec::new();
+                for (mut s, value) in self.eval(expr, state) {
+                    s.scalars.insert(name.clone(), value);
+                    out.push((s, None));
+                }
+                out
+            }
+            Stmt::Store(index, value) => {
+                let mut out = Vec::new();
+                for (s, idx) in self.eval(index, state) {
+                    for (s2, val) in self.eval(value, s) {
+                        for (mut s3, concrete_idx) in self.concretize(idx, s2.clone()) {
+                            if (concrete_idx as usize) < s3.array.len() {
+                                let i = concrete_idx as usize;
+                                s3.array[i] = val;
+                            }
+                            out.push((s3, None));
+                        }
+                    }
+                }
+                out
+            }
+            Stmt::If(cond, then_block, else_block) => {
+                let mut out = Vec::new();
+                for (s, formula) in self.eval_cond(cond, state) {
+                    // True branch.
+                    let mut then_state = s.clone();
+                    then_state.constraints.push(formula.clone());
+                    if self.solver.is_sat(&then_state.condition()) {
+                        out.extend(self.exec_block(then_block, then_state));
+                    }
+                    // False branch.
+                    let mut else_state = s;
+                    else_state.constraints.push(Formula::not(formula));
+                    if self.solver.is_sat(&else_state.condition()) {
+                        out.extend(self.exec_block(else_block, else_state));
+                    }
+                }
+                out
+            }
+            Stmt::While(cond, body) => {
+                let mut out = Vec::new();
+                let mut active = vec![(state, 0usize)];
+                while let Some((s, iterations)) = active.pop() {
+                    if self.over_budget() {
+                        out.push((s, Some(SymOutcome::Truncated)));
+                        continue;
+                    }
+                    if iterations >= self.config.max_loop_iterations {
+                        out.push((s, Some(SymOutcome::Truncated)));
+                        continue;
+                    }
+                    for (s2, formula) in self.eval_cond(cond, s) {
+                        // Exit the loop.
+                        let mut exit_state = s2.clone();
+                        exit_state.constraints.push(Formula::not(formula.clone()));
+                        if self.solver.is_sat(&exit_state.condition()) {
+                            out.push((exit_state, None));
+                        }
+                        // Take another iteration.
+                        let mut body_state = s2;
+                        body_state.constraints.push(formula);
+                        if self.solver.is_sat(&body_state.condition()) {
+                            for (s3, outcome) in self.exec_block(body, body_state) {
+                                match outcome {
+                                    Some(o) => out.push((s3, Some(o))),
+                                    None => active.push((s3, iterations + 1)),
+                                }
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Evaluates an expression, possibly forking (symbolic loads, non-linear
+    /// arithmetic). Returns `(state, value)` pairs.
+    fn eval(&mut self, expr: &Expr, state: PathState) -> Vec<(PathState, SVal)> {
+        match expr {
+            Expr::Const(c) => vec![(state, SVal::C(*c as i64))],
+            Expr::Var(name) => {
+                let v = state.scalars.get(name).copied().unwrap_or(SVal::C(0));
+                vec![(state, v)]
+            }
+            Expr::Load(index) => {
+                let mut out = Vec::new();
+                for (s, idx) in self.eval(index, state) {
+                    match idx.as_concrete() {
+                        Some(i) => {
+                            let v = s.array.get(i as usize).copied().unwrap_or(SVal::C(0));
+                            out.push((s, v));
+                        }
+                        None => {
+                            // Symbolic index: fork per feasible concrete index
+                            // — the behaviour that blows up Table 1.
+                            for (s2, i) in self.concretize(idx, s) {
+                                let v = s2.array.get(i as usize).copied().unwrap_or(SVal::C(0));
+                                out.push((s2, v));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let mut out = Vec::new();
+                for (s, l) in self.eval(lhs, state) {
+                    for (s2, r) in self.eval(rhs, s.clone()) {
+                        out.extend(self.apply_bin(*op, l, r, s2));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn apply_bin(&mut self, op: BinOp, l: SVal, r: SVal, state: PathState) -> Vec<(PathState, SVal)> {
+        match op {
+            BinOp::Add | BinOp::Sub => self.apply_arith(op, l, r, state),
+            // Comparisons and logical operators used as values: concretise by
+            // forking on the outcome.
+            _ => {
+                let formula = self.cmp_formula(op, l, r);
+                let mut out = Vec::new();
+                let mut true_state = state.clone();
+                true_state.constraints.push(formula.clone());
+                if self.solver.is_sat(&true_state.condition()) {
+                    out.push((true_state, SVal::C(1)));
+                }
+                let mut false_state = state;
+                false_state.constraints.push(Formula::not(formula));
+                if self.solver.is_sat(&false_state.condition()) {
+                    out.push((false_state, SVal::C(0)));
+                }
+                out
+            }
+        }
+    }
+
+    fn apply_arith(&mut self, op: BinOp, l: SVal, r: SVal, state: PathState) -> Vec<(PathState, SVal)> {
+        let subtract = op == BinOp::Sub;
+        match (l, r) {
+            (SVal::C(a), SVal::C(b)) => {
+                let v = if subtract { (a - b).max(0) } else { a + b };
+                vec![(state, SVal::C(v))]
+            }
+            (SVal::S { var, off }, SVal::C(c)) => {
+                let delta = if subtract { -c } else { c };
+                vec![(state, SVal::S { var, off: off + delta })]
+            }
+            (SVal::C(c), SVal::S { var, off }) if !subtract => {
+                vec![(state, SVal::S { var, off: off + c })]
+            }
+            // Anything else (sym - sym, const - sym, sym + sym) is concretised
+            // by forking over the feasible values of the right operand.
+            (l, r) => {
+                let mut out = Vec::new();
+                for (s, rv) in self.concretize(r, state) {
+                    out.extend(self.apply_arith(op, l, SVal::C(rv), s));
+                }
+                out
+            }
+        }
+    }
+
+    fn cmp_formula(&self, op: BinOp, l: SVal, r: SVal) -> Formula {
+        let cmp = |o| Formula::cmp(o, l.term(), r.term());
+        match op {
+            BinOp::Eq => cmp(CmpOp::Eq),
+            BinOp::Ne => cmp(CmpOp::Ne),
+            BinOp::Lt => cmp(CmpOp::Lt),
+            BinOp::Gt => cmp(CmpOp::Gt),
+            BinOp::Or => Formula::or(vec![
+                Formula::cmp(CmpOp::Ne, l.term(), Term::Const(0)),
+                Formula::cmp(CmpOp::Ne, r.term(), Term::Const(0)),
+            ]),
+            BinOp::And => Formula::and(vec![
+                Formula::cmp(CmpOp::Ne, l.term(), Term::Const(0)),
+                Formula::cmp(CmpOp::Ne, r.term(), Term::Const(0)),
+            ]),
+            BinOp::Add | BinOp::Sub => unreachable!("arithmetic handled separately"),
+        }
+    }
+
+    /// Evaluates a boolean condition to a formula, forking only where the
+    /// operand evaluation itself forks.
+    fn eval_cond(&mut self, expr: &Expr, state: PathState) -> Vec<(PathState, Formula)> {
+        match expr {
+            Expr::Bin(op, lhs, rhs)
+                if !matches!(op, BinOp::Add | BinOp::Sub) =>
+            {
+                // Logical connectives over sub-conditions.
+                if matches!(op, BinOp::Or | BinOp::And) {
+                    let mut out = Vec::new();
+                    for (s, f1) in self.eval_cond(lhs, state) {
+                        for (s2, f2) in self.eval_cond(rhs, s.clone()) {
+                            let combined = match op {
+                                BinOp::Or => Formula::or(vec![f1.clone(), f2]),
+                                _ => Formula::and(vec![f1.clone(), f2]),
+                            };
+                            out.push((s2, combined));
+                        }
+                    }
+                    return out;
+                }
+                let mut out = Vec::new();
+                for (s, l) in self.eval(lhs, state) {
+                    for (s2, r) in self.eval(rhs, s.clone()) {
+                        out.push((s2, self.cmp_formula(*op, l, r)));
+                    }
+                }
+                out
+            }
+            other => {
+                // A bare value used as a condition: non-zero means true.
+                let mut out = Vec::new();
+                for (s, v) in self.eval(other, state) {
+                    out.push((s, Formula::cmp(CmpOp::Ne, v.term(), Term::Const(0))));
+                }
+                out
+            }
+        }
+    }
+
+    /// Enumerates the feasible concrete values of a symbolic value under the
+    /// path condition, forking one state per value (bounded).
+    fn concretize(&mut self, value: SVal, state: PathState) -> Vec<(PathState, i64)> {
+        match value {
+            SVal::C(c) => vec![(state, c)],
+            SVal::S { var, off } => {
+                let Some(set) = self.solver.feasible_values(&state.condition(), var) else {
+                    return Vec::new();
+                };
+                let mut out = Vec::new();
+                for (lo, hi) in set.iter_ranges() {
+                    let mut v = lo;
+                    while v <= hi {
+                        if out.len() >= self.config.max_concretizations {
+                            self.budget_exhausted = true;
+                            return out;
+                        }
+                        let mut s = state.clone();
+                        s.constraints.push(Formula::eq_const(var, v as u64));
+                        out.push((s, v as i64 + off));
+                        v += 1;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minc::{BinOp, Expr, Program, Stmt};
+
+    #[test]
+    fn straight_line_code_has_one_path() {
+        let prog = Program::new(
+            vec![("x", 0)],
+            vec![
+                Stmt::Assign("x".into(), Expr::c(5)),
+                Stmt::Return(true),
+            ],
+        );
+        let mut ex = SymExecutor::new(SymConfig::default());
+        let report = ex.run_symbolic(&prog, 4);
+        assert_eq!(report.path_count(), 1);
+        assert_eq!(report.paths[0].outcome, SymOutcome::Returned(true));
+    }
+
+    #[test]
+    fn branching_on_symbolic_input_forks() {
+        // if (a[0] == 7) return true else return false — two feasible paths.
+        let prog = Program::new(
+            vec![],
+            vec![Stmt::If(
+                Expr::bin(BinOp::Eq, Expr::load(Expr::c(0)), Expr::c(7)),
+                vec![Stmt::Return(true)],
+                vec![Stmt::Return(false)],
+            )],
+        );
+        let mut ex = SymExecutor::new(SymConfig::default());
+        let report = ex.run_symbolic(&prog, 1);
+        assert_eq!(report.path_count(), 2);
+        let outcomes: Vec<_> = report.paths.iter().map(|p| p.outcome).collect();
+        assert!(outcomes.contains(&SymOutcome::Returned(true)));
+        assert!(outcomes.contains(&SymOutcome::Returned(false)));
+    }
+
+    #[test]
+    fn infeasible_branches_are_pruned() {
+        // a[0] is constrained by the first if; the nested contradictory branch
+        // must not appear.
+        let prog = Program::new(
+            vec![],
+            vec![Stmt::If(
+                Expr::bin(BinOp::Lt, Expr::load(Expr::c(0)), Expr::c(10)),
+                vec![Stmt::If(
+                    Expr::bin(BinOp::Gt, Expr::load(Expr::c(0)), Expr::c(20)),
+                    vec![Stmt::Return(false)],
+                    vec![Stmt::Return(true)],
+                )],
+                vec![Stmt::Return(false)],
+            )],
+        );
+        let mut ex = SymExecutor::new(SymConfig::default());
+        let report = ex.run_symbolic(&prog, 1);
+        // Paths: a[0] < 10 (then inner else), a[0] >= 10. The inner "then" is
+        // infeasible.
+        assert_eq!(report.path_count(), 2);
+    }
+
+    #[test]
+    fn symbolic_loop_bound_forks_per_iteration() {
+        // while (i < a[0]) { i = i + 1 } with a[0] in 0..=3 constrained.
+        let prog = Program::new(
+            vec![("i", 0)],
+            vec![
+                Stmt::If(
+                    Expr::bin(BinOp::Gt, Expr::load(Expr::c(0)), Expr::c(3)),
+                    vec![Stmt::Return(false)],
+                    vec![],
+                ),
+                Stmt::While(
+                    Expr::bin(BinOp::Lt, Expr::v("i"), Expr::load(Expr::c(0))),
+                    vec![Stmt::Assign(
+                        "i".into(),
+                        Expr::bin(BinOp::Add, Expr::v("i"), Expr::c(1)),
+                    )],
+                ),
+                Stmt::Return(true),
+            ],
+        );
+        let mut ex = SymExecutor::new(SymConfig::default());
+        let report = ex.run_symbolic(&prog, 1);
+        // One path per loop count 0..=3 plus the a[0] > 3 path.
+        assert_eq!(report.path_count(), 5);
+    }
+
+    #[test]
+    fn path_budget_is_enforced() {
+        // A loop over a fully symbolic bound would explode; the budget caps it.
+        let prog = Program::new(
+            vec![("i", 0)],
+            vec![
+                Stmt::While(
+                    Expr::bin(BinOp::Lt, Expr::v("i"), Expr::load(Expr::c(0))),
+                    vec![Stmt::Assign(
+                        "i".into(),
+                        Expr::bin(BinOp::Add, Expr::v("i"), Expr::c(1)),
+                    )],
+                ),
+                Stmt::Return(true),
+            ],
+        );
+        let mut ex = SymExecutor::new(SymConfig {
+            max_paths: 10,
+            max_loop_iterations: 8,
+            max_concretizations: 16,
+        });
+        let report = ex.run_symbolic(&prog, 1);
+        assert!(report.path_count() <= 10 + 1);
+    }
+}

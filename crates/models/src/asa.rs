@@ -1,0 +1,276 @@
+//! The Cisco ASA 5510 model (§7.2).
+//!
+//! The ASA combines layer-2 forwarding, static and dynamic NAT, stateful TCP
+//! inspection, access-list filtering and TCP-options normalisation. The paper
+//! models it as a Click pipeline generated from the ASA configuration; here
+//! the same pipeline stages are assembled into a single two-sided element:
+//!
+//! * input 0 / output 0 — *inside → outside* traffic,
+//! * input 1 / output 1 — *outside → inside* (return) traffic.
+//!
+//! The stages on the inside→outside direction are: ingress static NAT,
+//! access-list filtering, connection recording (dynamic NAT + TCP inspection
+//! state, stored in local metadata exactly like the §7 NAT), egress static NAT
+//! and the TCP-options filter of Figure 7. The outside→inside direction admits
+//! only traffic that matches recorded connection state (stateful inspection)
+//! or an explicit static rule, then applies the reverse NAT and the options
+//! filter.
+
+use crate::tcp_options::{asa_options_code, AsaOptionsConfig};
+use symnet_sefl::cond::Condition;
+use symnet_sefl::expr::Expr;
+use symnet_sefl::field::FieldRef;
+use symnet_sefl::fields::{ip_dst, ip_proto, ip_src, ipproto, tcp_dst, tcp_src};
+use symnet_sefl::{ElementProgram, Instruction};
+
+/// A static NAT rule: rewrite the destination `outside_ip` to `inside_ip` on
+/// ingress and the source `inside_ip` to `outside_ip` on egress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticNatRule {
+    /// Globally visible address.
+    pub outside_ip: u32,
+    /// Real inside address.
+    pub inside_ip: u32,
+}
+
+/// Configuration of the ASA model.
+#[derive(Clone, Debug)]
+pub struct AsaConfig {
+    /// The ASA's public address used for dynamic NAT of outbound connections.
+    pub public_ip: u32,
+    /// Static NAT rules.
+    pub static_nat: Vec<StaticNatRule>,
+    /// Access-list: conditions a packet from the inside must satisfy to be
+    /// allowed out (all must hold). Empty means "permit any".
+    pub outbound_acl: Vec<Condition>,
+    /// TCP-options normalisation settings.
+    pub options: AsaOptionsConfig,
+    /// Whether outbound connections are recorded so return traffic is admitted
+    /// (stateful inspection). The §8.3 office/lab bug was fixed by enabling
+    /// this for office→lab traffic.
+    pub stateful: bool,
+}
+
+impl Default for AsaConfig {
+    fn default() -> Self {
+        AsaConfig {
+            public_ip: 0xc0a80101,
+            static_nat: Vec::new(),
+            outbound_acl: Vec::new(),
+            options: AsaOptionsConfig::default(),
+            stateful: true,
+        }
+    }
+}
+
+/// Builds the ASA element.
+pub fn asa(name: &str, config: &AsaConfig) -> ElementProgram {
+    // ---------------- inside → outside ----------------
+    let mut outbound = vec![Instruction::constrain(Condition::eq(
+        ip_proto().field(),
+        ipproto::TCP,
+    ))];
+    // Access-list filtering.
+    for cond in &config.outbound_acl {
+        outbound.push(Instruction::constrain(cond.clone()));
+    }
+    if config.stateful {
+        // Record the connection (dynamic NAT + inspection state).
+        outbound.extend([
+            Instruction::allocate_local_meta("asa-orig-src", 32),
+            Instruction::allocate_local_meta("asa-orig-sport", 16),
+            Instruction::allocate_local_meta("asa-new-sport", 16),
+            Instruction::allocate_local_meta("asa-dst", 32),
+            Instruction::allocate_local_meta("asa-dport", 16),
+            Instruction::assign(FieldRef::meta("asa-orig-src"), Expr::reference(ip_src().field())),
+            Instruction::assign(
+                FieldRef::meta("asa-orig-sport"),
+                Expr::reference(tcp_src().field()),
+            ),
+            Instruction::assign(FieldRef::meta("asa-dst"), Expr::reference(ip_dst().field())),
+            Instruction::assign(FieldRef::meta("asa-dport"), Expr::reference(tcp_dst().field())),
+            // Dynamic NAT: source becomes the public address with a fresh port.
+            Instruction::assign(ip_src().field(), Expr::constant(config.public_ip as u64)),
+            Instruction::assign(tcp_src().field(), Expr::symbolic()),
+            Instruction::constrain(Condition::ge(tcp_src().field(), 1024u64)),
+            Instruction::assign(
+                FieldRef::meta("asa-new-sport"),
+                Expr::reference(tcp_src().field()),
+            ),
+        ]);
+    }
+    // Egress static NAT: if the (already NATted) source matches an inside
+    // address with a static mapping, expose the mapped outside address.
+    for rule in &config.static_nat {
+        outbound.push(Instruction::if_then(
+            Condition::eq(ip_src().field(), rule.inside_ip as u64),
+            Instruction::assign(ip_src().field(), Expr::constant(rule.outside_ip as u64)),
+        ));
+    }
+    // TCP options normalisation, then out.
+    outbound.push(asa_options_code(&config.options));
+    outbound.push(Instruction::forward(0));
+
+    // ---------------- outside → inside ----------------
+    let mut inbound = vec![Instruction::constrain(Condition::eq(
+        ip_proto().field(),
+        ipproto::TCP,
+    ))];
+    // Ingress static NAT.
+    for rule in &config.static_nat {
+        inbound.push(Instruction::if_then(
+            Condition::eq(ip_dst().field(), rule.outside_ip as u64),
+            Instruction::assign(ip_dst().field(), Expr::constant(rule.inside_ip as u64)),
+        ));
+    }
+    if config.stateful {
+        // Stateful inspection: only replies to a recorded connection pass.
+        inbound.extend([
+            Instruction::constrain(Condition::eq(
+                ip_dst().field(),
+                Expr::constant(config.public_ip as u64),
+            )),
+            Instruction::constrain(Condition::eq(
+                tcp_dst().field(),
+                Expr::reference(FieldRef::meta("asa-new-sport")),
+            )),
+            Instruction::constrain(Condition::eq(
+                ip_src().field(),
+                Expr::reference(FieldRef::meta("asa-dst")),
+            )),
+            Instruction::constrain(Condition::eq(
+                tcp_src().field(),
+                Expr::reference(FieldRef::meta("asa-dport")),
+            )),
+            // Undo the dynamic NAT.
+            Instruction::assign(ip_dst().field(), Expr::reference(FieldRef::meta("asa-orig-src"))),
+            Instruction::assign(
+                tcp_dst().field(),
+                Expr::reference(FieldRef::meta("asa-orig-sport")),
+            ),
+        ]);
+    }
+    inbound.push(asa_options_code(&config.options));
+    inbound.push(Instruction::forward(1));
+
+    ElementProgram::new(name, 2, 2)
+        .with_input_code(0, Instruction::block(outbound))
+        .with_input_code(1, Instruction::block(inbound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::click::ip_mirror;
+    use crate::tcp_options::{opt_key, option_kind};
+    use symnet_core::engine::SymNet;
+    use symnet_core::network::Network;
+    use symnet_core::value::Value;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    fn tcp_with_options() -> Instruction {
+        Instruction::block(vec![
+            symbolic_tcp_packet(),
+            crate::tcp_options::symbolic_options_metadata(),
+            Instruction::constrain(Condition::ne(
+                ip_src().field(),
+                Expr::reference(ip_dst().field()),
+            )),
+            Instruction::constrain(Condition::lt(tcp_src().field(), 1024u64)),
+            Instruction::constrain(Condition::ne(ip_src().field(), 0xc0a80101u64)),
+        ])
+    }
+
+    #[test]
+    fn asa_does_not_branch_beyond_its_ports() {
+        let program = asa("asa", &AsaConfig::default());
+        // Static NAT + options introduce a handful of If instructions but the
+        // branching factor stays small and independent of table sizes.
+        assert!(program.max_branching() <= 8);
+    }
+
+    #[test]
+    fn outbound_traffic_is_natted_and_options_normalised() {
+        let mut net = Network::new();
+        let a = net.add_element(asa("asa", &AsaConfig::default()));
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 0, &tcp_with_options());
+        assert!(report.delivered_at(a, 0).count() >= 1);
+        for path in report.delivered_at(a, 0) {
+            let src = path.state.read_field(&ip_src().field(), "").unwrap();
+            assert_eq!(src.value, Value::Concrete(0xc0a80101));
+            assert_eq!(
+                path.state.read_meta(&opt_key(option_kind::MPTCP)).unwrap().value,
+                Value::Concrete(0),
+                "MPTCP options are removed by the default ASA configuration"
+            );
+        }
+    }
+
+    #[test]
+    fn return_traffic_is_admitted_and_translated_back() {
+        let mut net = Network::new();
+        let a = net.add_element(asa("asa", &AsaConfig::default()));
+        let m = net.add_element(ip_mirror("outside"));
+        net.add_link(a, 0, m, 0);
+        net.add_link(m, 0, a, 1);
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 0, &tcp_with_options());
+        assert!(report.delivered_at(a, 1).count() >= 1);
+        let path = report.delivered_at(a, 1).next().unwrap();
+        let orig_src = report.injected.read_field(&ip_src().field(), "").unwrap();
+        let final_dst = path.state.read_field(&ip_dst().field(), "").unwrap();
+        assert_eq!(orig_src.value, final_dst.value);
+    }
+
+    #[test]
+    fn unsolicited_outside_traffic_is_dropped_when_stateful() {
+        let mut net = Network::new();
+        let a = net.add_element(asa("asa", &AsaConfig::default()));
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 1, &tcp_with_options());
+        assert_eq!(report.delivered().count(), 0);
+    }
+
+    #[test]
+    fn static_nat_exposes_inside_servers() {
+        let rule = StaticNatRule {
+            outside_ip: 0x08080801,
+            inside_ip: 0x0a000005,
+        };
+        let config = AsaConfig {
+            static_nat: vec![rule],
+            stateful: false,
+            ..AsaConfig::default()
+        };
+        let mut net = Network::new();
+        let a = net.add_element(asa("asa", &config));
+        let engine = SymNet::new(net);
+        let inbound = Instruction::block(vec![
+            tcp_with_options(),
+            Instruction::assign(ip_dst().field(), Expr::constant(rule.outside_ip as u64)),
+        ]);
+        let report = engine.inject(a, 1, &inbound);
+        assert!(report.delivered_at(a, 1).count() >= 1);
+        let path = report.delivered_at(a, 1).next().unwrap();
+        let dst = path.state.read_field(&ip_dst().field(), "").unwrap();
+        assert_eq!(dst.value, Value::Concrete(rule.inside_ip as u64));
+    }
+
+    #[test]
+    fn outbound_acl_filters_traffic() {
+        let config = AsaConfig {
+            outbound_acl: vec![Condition::eq(tcp_dst().field(), 443u64)],
+            ..AsaConfig::default()
+        };
+        let mut net = Network::new();
+        let a = net.add_element(asa("asa", &config));
+        let engine = SymNet::new(net);
+        let http_only = Instruction::block(vec![
+            tcp_with_options(),
+            Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+        ]);
+        let report = engine.inject(a, 0, &http_only);
+        assert_eq!(report.delivered().count(), 0, "ACL must drop non-443 traffic");
+    }
+}

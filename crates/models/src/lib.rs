@@ -1,0 +1,45 @@
+//! # symnet-models
+//!
+//! Ready-made SEFL models of network elements (§7 of the SymNet paper) plus
+//! the evaluation scenarios of §2, §8.4 and §8.5.
+//!
+//! * [`switch`] — learning-switch models generated from MAC tables in the
+//!   three variants evaluated in Figure 8: *basic* (one branch per entry),
+//!   *ingress* (grouped per output port, filtering on input) and *egress*
+//!   (fork to every port, per-port constraints) — the egress model has both
+//!   optimal branching and a minimal constraint count.
+//! * [`router`] — longest-prefix-match IP routers generated from forwarding
+//!   tables, again in basic/ingress/egress variants, using the `!a & b`
+//!   exclusion trick of §7 to keep the branching factor at the number of
+//!   links.
+//! * [`nat`] — the stateful NAT of §7, which stores the per-flow mapping in
+//!   packet metadata so that verification does not explode with middlebox
+//!   state, and the stateful firewall built with the same technique.
+//! * [`tunnel`] — IP-in-IP encapsulation/decapsulation, MTU filters and the
+//!   encryption/decryption models of §7.
+//! * [`tcp_options`] — the CISCO ASA TCP-options parsing model of Figure 7,
+//!   operating on pre-parsed `OPTx`/`SIZEx`/`VALx` metadata.
+//! * [`click`] — a library of Click modular-router elements (IPMirror,
+//!   DecIPTTL, HostEtherFilter, IPClassifier, EtherEncap, VLAN handling, ...),
+//!   including the deliberately buggy variants that §8.3's automated testing
+//!   catches.
+//! * [`asa`] — the Cisco ASA 5510 pipeline of §7.2 assembled from the pieces
+//!   above.
+//! * [`scenarios`] — topology builders for the §2 tunnel chain, the §8.4
+//!   Split-TCP deployment, the §8.5 CS department network and the synthetic
+//!   Stanford-like backbone used for the Table 3 comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asa;
+pub mod click;
+pub mod nat;
+pub mod router;
+pub mod scenarios;
+pub mod switch;
+pub mod tcp_options;
+pub mod tunnel;
+
+pub use router::{Fib, FibEntry};
+pub use switch::{MacTable, MacTableEntry};

@@ -1,0 +1,324 @@
+//! Stateful NAT and stateful-firewall models.
+//!
+//! §7 "Modeling a Network Address Translator": the exact port a NAT picks for
+//! a new flow is quasi-random, so the model assigns a fresh *symbolic* port in
+//! the NAT's range and "remembers" the mapping by storing it in packet
+//! metadata. Because the metadata is local to the element instance, cascaded
+//! NATs each keep their own mapping, and — crucially — the model creates no
+//! branches, so verifying networks with stateful middleboxes does not explode.
+//! The same store-flow-state-in-the-packet technique models stateful firewalls
+//! and sequence-number–randomising firewalls.
+
+use symnet_sefl::cond::Condition;
+use symnet_sefl::expr::Expr;
+use symnet_sefl::field::FieldRef;
+use symnet_sefl::fields::{ip_dst, ip_proto, ip_src, ipproto, tcp_dst, tcp_seq, tcp_src};
+use symnet_sefl::{ElementProgram, Instruction};
+
+/// Configuration of a [`nat`] element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NatConfig {
+    /// The public address the NAT rewrites the source to.
+    pub public_ip: u32,
+    /// Lowest source port the NAT assigns.
+    pub port_low: u16,
+    /// Highest source port the NAT assigns.
+    pub port_high: u16,
+}
+
+impl Default for NatConfig {
+    fn default() -> Self {
+        NatConfig {
+            public_ip: 0xc0a80101, // 192.168.1.1
+            port_low: 1024,
+            port_high: 65535,
+        }
+    }
+}
+
+/// The NAT model of §7.
+///
+/// * input 0 → output 0: outbound traffic; the source address and port are
+///   rewritten (the new port is symbolic within the configured range) and the
+///   original and assigned values are stored in local metadata.
+/// * input 1 → output 1: return traffic; admitted only if it matches the
+///   assigned mapping, in which case the original addressing is restored.
+pub fn nat(name: &str, config: NatConfig) -> ElementProgram {
+    let outbound = Instruction::block(vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)), // only do TCP
+        Instruction::allocate_local_meta("orig-ip", 32),
+        Instruction::allocate_local_meta("orig-port", 16),
+        Instruction::allocate_local_meta("new-ip", 32),
+        Instruction::allocate_local_meta("new-port", 16),
+        // Save the initial addressing.
+        Instruction::assign(FieldRef::meta("orig-ip"), Expr::reference(ip_src().field())),
+        Instruction::assign(FieldRef::meta("orig-port"), Expr::reference(tcp_src().field())),
+        // Perform the mapping: concrete public address, symbolic port in range.
+        Instruction::assign(ip_src().field(), Expr::constant(config.public_ip as u64)),
+        Instruction::assign(tcp_src().field(), Expr::symbolic()),
+        Instruction::constrain(Condition::ge(tcp_src().field(), config.port_low as u64)),
+        Instruction::constrain(Condition::le(tcp_src().field(), config.port_high as u64)),
+        // Save the assigned addressing.
+        Instruction::assign(FieldRef::meta("new-ip"), Expr::reference(ip_src().field())),
+        Instruction::assign(FieldRef::meta("new-port"), Expr::reference(tcp_src().field())),
+        Instruction::forward(0),
+    ]);
+    let inbound = Instruction::block(vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
+        // The return packet is allowed only if it targets the assigned mapping.
+        Instruction::constrain(Condition::eq(
+            ip_dst().field(),
+            Expr::reference(FieldRef::meta("new-ip")),
+        )),
+        Instruction::constrain(Condition::eq(
+            tcp_dst().field(),
+            Expr::reference(FieldRef::meta("new-port")),
+        )),
+        // Restore the original addressing.
+        Instruction::assign(ip_dst().field(), Expr::reference(FieldRef::meta("orig-ip"))),
+        Instruction::assign(
+            tcp_dst().field(),
+            Expr::reference(FieldRef::meta("orig-port")),
+        ),
+        Instruction::forward(1),
+    ]);
+    ElementProgram::new(name, 2, 2)
+        .with_input_code(0, outbound)
+        .with_input_code(1, inbound)
+}
+
+/// A stateful firewall built with the same flow-state-in-the-packet technique:
+/// outbound traffic (input 0) records the 4-tuple; return traffic (input 1) is
+/// admitted only if it is the exact reverse of a recorded flow. This is also
+/// the model used for the Click `IPRewriter` element in its stateful-firewall
+/// role (§8.3).
+pub fn stateful_firewall(name: &str) -> ElementProgram {
+    let outbound = Instruction::block(vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
+        Instruction::allocate_local_meta("fw-src", 32),
+        Instruction::allocate_local_meta("fw-dst", 32),
+        Instruction::allocate_local_meta("fw-sport", 16),
+        Instruction::allocate_local_meta("fw-dport", 16),
+        Instruction::assign(FieldRef::meta("fw-src"), Expr::reference(ip_src().field())),
+        Instruction::assign(FieldRef::meta("fw-dst"), Expr::reference(ip_dst().field())),
+        Instruction::assign(FieldRef::meta("fw-sport"), Expr::reference(tcp_src().field())),
+        Instruction::assign(FieldRef::meta("fw-dport"), Expr::reference(tcp_dst().field())),
+        Instruction::forward(0),
+    ]);
+    let inbound = Instruction::block(vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
+        // Reverse direction of the recorded flow.
+        Instruction::constrain(Condition::eq(
+            ip_src().field(),
+            Expr::reference(FieldRef::meta("fw-dst")),
+        )),
+        Instruction::constrain(Condition::eq(
+            ip_dst().field(),
+            Expr::reference(FieldRef::meta("fw-src")),
+        )),
+        Instruction::constrain(Condition::eq(
+            tcp_src().field(),
+            Expr::reference(FieldRef::meta("fw-dport")),
+        )),
+        Instruction::constrain(Condition::eq(
+            tcp_dst().field(),
+            Expr::reference(FieldRef::meta("fw-sport")),
+        )),
+        Instruction::forward(1),
+    ]);
+    ElementProgram::new(name, 2, 2)
+        .with_input_code(0, outbound)
+        .with_input_code(1, inbound)
+}
+
+/// A firewall that randomises the TCP initial sequence number on outbound
+/// traffic and restores it on return traffic — the third §7 example of the
+/// per-flow-state technique.
+pub fn seq_randomizing_firewall(name: &str) -> ElementProgram {
+    let outbound = Instruction::block(vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
+        Instruction::allocate_local_meta("orig-seq", 32),
+        Instruction::allocate_local_meta("new-seq", 32),
+        Instruction::assign(FieldRef::meta("orig-seq"), Expr::reference(tcp_seq().field())),
+        Instruction::assign(tcp_seq().field(), Expr::symbolic()),
+        Instruction::assign(FieldRef::meta("new-seq"), Expr::reference(tcp_seq().field())),
+        Instruction::forward(0),
+    ]);
+    let inbound = Instruction::block(vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
+        // The peer acknowledges the randomised sequence number; restore the
+        // original before handing the packet back to the inside host.
+        Instruction::assign(tcp_seq().field(), Expr::reference(FieldRef::meta("orig-seq"))),
+        Instruction::forward(1),
+    ]);
+    ElementProgram::new(name, 2, 2)
+        .with_input_code(0, outbound)
+        .with_input_code(1, inbound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::click::ip_mirror;
+    use symnet_core::engine::SymNet;
+    use symnet_core::network::Network;
+    use symnet_core::value::Value;
+    use symnet_core::verify::{field_invariant, Tristate};
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    /// Outbound through the NAT, reflected by an IPMirror, back through the
+    /// NAT — the end-to-end test of §7/§8.3 (without the address-equality bug).
+    fn nat_with_mirror() -> (Network, symnet_core::ElementId, symnet_core::ElementId) {
+        let mut net = Network::new();
+        let n = net.add_element(nat("nat", NatConfig::default()));
+        let m = net.add_element(ip_mirror("mirror"));
+        net.add_link(n, 0, m, 0); // NAT outbound → mirror
+        net.add_link(m, 0, n, 1); // mirror → NAT return input
+        (net, n, m)
+    }
+
+    #[test]
+    fn nat_model_does_not_branch() {
+        let program = nat("nat", NatConfig::default());
+        assert_eq!(program.max_branching(), 1);
+        assert_eq!(stateful_firewall("fw").max_branching(), 1);
+    }
+
+    #[test]
+    fn outbound_packet_is_rewritten_within_port_range() {
+        let mut net = Network::new();
+        let n = net.add_element(nat("nat", NatConfig::default()));
+        let engine = SymNet::new(net);
+        let report = engine.inject(n, 0, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 1);
+        let path = report.delivered().next().unwrap();
+        // Source address is now the public address.
+        let src = path.state.read_field(&ip_src().field(), "").unwrap();
+        assert_eq!(src.value, Value::Concrete(0xc0a80101));
+        // Source port is symbolic but constrained to the NAT range.
+        let ports =
+            symnet_core::verify::allowed_values(path, &tcp_src().field()).unwrap();
+        assert_eq!(ports.min(), Some(1024));
+        assert_eq!(ports.max(), Some(65535));
+        // The destination is untouched.
+        assert_eq!(
+            field_invariant(&report.injected, path, &ip_dst().field()),
+            Ok(Tristate::Always)
+        );
+    }
+
+    #[test]
+    fn return_traffic_is_translated_back() {
+        let (net, nat_id, _) = nat_with_mirror();
+        let engine = SymNet::new(net);
+        // Constrain source and destination to differ so the mirrored packet
+        // cannot re-match the forward mapping (the §8.3 IPRewriter loop fix).
+        let pkt = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::constrain(Condition::ne(
+                ip_src().field(),
+                Expr::reference(ip_dst().field()),
+            )),
+            Instruction::constrain(Condition::lt(tcp_src().field(), 1024u64)),
+        ]);
+        let report = engine.inject(nat_id, 0, &pkt);
+        // The mirrored packet re-enters the NAT on input 1 and exits output 1
+        // with the original addressing restored.
+        assert_eq!(report.delivered_at(nat_id, 1).count(), 1);
+        let path = report.delivered_at(nat_id, 1).next().unwrap();
+        // After the round trip the destination address/port equal the original
+        // source address/port of the injected packet.
+        let orig_src = report.injected.read_field(&ip_src().field(), "").unwrap();
+        let final_dst = path.state.read_field(&ip_dst().field(), "").unwrap();
+        assert_eq!(orig_src.value, final_dst.value);
+        let orig_sport = report.injected.read_field(&tcp_src().field(), "").unwrap();
+        let final_dport = path.state.read_field(&tcp_dst().field(), "").unwrap();
+        assert_eq!(orig_sport.value, final_dport.value);
+    }
+
+    #[test]
+    fn unrelated_inbound_traffic_is_dropped() {
+        let mut net = Network::new();
+        let n = net.add_element(nat("nat", NatConfig::default()));
+        let engine = SymNet::new(net);
+        // Traffic arriving on the return interface without any recorded
+        // mapping metadata must be dropped (memory error on the metadata read).
+        let report = engine.inject(n, 1, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 0);
+    }
+
+    #[test]
+    fn cascaded_nats_keep_separate_mappings() {
+        // inside → NAT1 → NAT2 → mirror → NAT2 → NAT1 → inside.
+        let mut net = Network::new();
+        let n1 = net.add_element(nat("nat1", NatConfig::default()));
+        let n2 = net.add_element(nat(
+            "nat2",
+            NatConfig {
+                public_ip: 0x08080808,
+                ..NatConfig::default()
+            },
+        ));
+        let m = net.add_element(ip_mirror("mirror"));
+        net.add_link(n1, 0, n2, 0);
+        net.add_link(n2, 0, m, 0);
+        net.add_link(m, 0, n2, 1);
+        net.add_link(n2, 1, n1, 1);
+        let engine = SymNet::new(net);
+        let pkt = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::constrain(Condition::ne(
+                ip_src().field(),
+                Expr::reference(ip_dst().field()),
+            )),
+            Instruction::constrain(Condition::lt(tcp_src().field(), 1024u64)),
+            Instruction::constrain(Condition::ne(ip_src().field(), 0x08080808u64)),
+            Instruction::constrain(Condition::ne(ip_src().field(), 0xc0a80101u64)),
+        ]);
+        let report = engine.inject(n1, 0, &pkt);
+        // The packet makes the full round trip and is restored by NAT1.
+        assert_eq!(report.delivered_at(n1, 1).count(), 1);
+        let path = report.delivered_at(n1, 1).next().unwrap();
+        let orig_src = report.injected.read_field(&ip_src().field(), "").unwrap();
+        let final_dst = path.state.read_field(&ip_dst().field(), "").unwrap();
+        assert_eq!(orig_src.value, final_dst.value);
+    }
+
+    #[test]
+    fn stateful_firewall_blocks_unsolicited_and_admits_replies() {
+        let mut net = Network::new();
+        let fw = net.add_element(stateful_firewall("fw"));
+        let m = net.add_element(ip_mirror("mirror"));
+        net.add_link(fw, 0, m, 0);
+        net.add_link(m, 0, fw, 1);
+        let engine = SymNet::new(net);
+        let pkt = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::constrain(Condition::ne(
+                ip_src().field(),
+                Expr::reference(ip_dst().field()),
+            )),
+        ]);
+        let report = engine.inject(fw, 0, &pkt);
+        // The mirrored reply matches the recorded flow and is admitted.
+        assert_eq!(report.delivered_at(fw, 1).count(), 1);
+        // Unsolicited traffic entering from the outside has no flow state and
+        // is dropped.
+        let report = engine.inject(fw, 1, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 0);
+    }
+
+    #[test]
+    fn seq_randomizer_hides_and_restores_sequence_numbers() {
+        let mut net = Network::new();
+        let fw = net.add_element(seq_randomizing_firewall("fw"));
+        let engine = SymNet::new(net);
+        let report = engine.inject(fw, 0, &symbolic_tcp_packet());
+        let path = report.delivered_at(fw, 0).next().unwrap();
+        // The outbound sequence number is a fresh symbol, not the original.
+        assert_eq!(
+            field_invariant(&report.injected, path, &tcp_seq().field()),
+            Ok(Tristate::Sometimes)
+        );
+    }
+}

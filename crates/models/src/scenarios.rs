@@ -1,0 +1,668 @@
+//! Evaluation scenario topologies.
+//!
+//! * [`tunnel_chain`] — the §2 motivating example `A → E1 → E2 → D2 → D1 → B`
+//!   (two nested IP-in-IP tunnels) used to check payload invariance.
+//! * [`split_tcp`] — the §8.4 Split-TCP side-band deployment of Figure 10,
+//!   with switches to reproduce each of the four documented incidents
+//!   (asymmetric routing, MTU blackhole, missing VLAN tagging, DHCP security
+//!   appliance).
+//! * [`department`] — the §8.5 CS department network of Figure 11 (access
+//!   switches, aggregation, master switch, ASA, router, cluster and the
+//!   management-VLAN leak).
+//! * [`stanford_backbone`] — a synthetic Stanford-like backbone used for the
+//!   Table 3 comparison against Header Space Analysis.
+
+use crate::asa::{asa, AsaConfig};
+use crate::click::{ip_mirror, sink, vlan_encap, wire};
+use crate::router::{router_egress, Fib};
+use crate::switch::{switch_egress, MacTable};
+use crate::tunnel::{ipip_decap, ipip_encap, mtu_filter};
+use symnet_core::network::{ElementId, Network};
+use symnet_sefl::cond::Condition;
+use symnet_sefl::expr::Expr;
+use symnet_sefl::field::FieldRef;
+use symnet_sefl::fields::{ether_src, ip_dst, ip_src};
+use symnet_sefl::{ElementProgram, Instruction};
+
+// ---------------------------------------------------------------------------
+// §2 tunnel chain
+// ---------------------------------------------------------------------------
+
+/// The §2 tunnel example: two nested IP-in-IP tunnels. Returns the network and
+/// the ids of the injection element (`A`) and the final element (`B`).
+pub fn tunnel_chain() -> (Network, ElementId, ElementId) {
+    let mut net = Network::new();
+    let a = net.add_element(wire("A"));
+    let e1 = net.add_element(ipip_encap("E1", 0x0a000001, 0x0a000004)); // outer-outer
+    let e2 = net.add_element(ipip_encap("E2", 0x0a000002, 0x0a000003)); // outer
+    let d2 = net.add_element(ipip_decap("D2", 0x0a000003));
+    let d1 = net.add_element(ipip_decap("D1", 0x0a000004));
+    let b = net.add_element(sink("B"));
+    net.add_link(a, 0, e1, 0);
+    net.add_link(e1, 0, e2, 0);
+    net.add_link(e2, 0, d2, 0);
+    net.add_link(d2, 0, d1, 0);
+    net.add_link(d1, 0, b, 0);
+    (net, a, b)
+}
+
+// ---------------------------------------------------------------------------
+// §8.4 Split-TCP deployment (Figure 10)
+// ---------------------------------------------------------------------------
+
+/// Which optional behaviours of the Figure 10 deployment are enabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitTcpConfig {
+    /// Use an IP-in-IP tunnel between the redirection router R1 and the proxy
+    /// P (the MTU-blackhole incident).
+    pub tunnel_to_proxy: bool,
+    /// The proxy strips VLAN tags and forgets to re-add them (the missing
+    /// VLAN tagging incident).
+    pub vlan_stripping_bug: bool,
+    /// R2 runs the DHCP-lease security check on (EtherSrc, IpSrc) pairs.
+    pub dhcp_security_check: bool,
+    /// Bounce traffic back at R2 through an IPMirror (used to check that
+    /// return traffic also crosses the proxy).
+    pub mirror_at_r2: bool,
+}
+
+/// Element ids of interest in the Split-TCP topology.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitTcpTopology {
+    /// The client C (injection point).
+    pub client: ElementId,
+    /// The redirection router R1.
+    pub r1: ElementId,
+    /// The Split-TCP proxy P.
+    pub proxy: ElementId,
+    /// The exit router R2.
+    pub r2: ElementId,
+    /// The Internet sink.
+    pub internet: ElementId,
+}
+
+/// MAC address of the Split-TCP proxy used by R1's redirection rule.
+pub const PROXY_MAC: u64 = 0x00aa00aa0001;
+/// MAC address the client's DHCP lease is bound to (§8.4 security appliance).
+pub const CLIENT_MAC: u64 = 0x00cc00cc0001;
+/// IP address of the client.
+pub const CLIENT_IP: u32 = 0x0a00010a;
+
+/// Builds the Figure 10 topology. Traffic flows
+/// `C → (AP) → R1 → P → R1 → R2 → Internet`; R1 redirects client traffic to
+/// the proxy by rewriting the destination MAC, and R1 enforces a 1536-byte
+/// MTU.
+pub fn split_tcp(config: SplitTcpConfig) -> (Network, SplitTcpTopology) {
+    let mut net = Network::new();
+    // The client tags its traffic with its own MAC/IP and, when the DHCP
+    // security check is modeled, with the lease metadata origEther/origIP.
+    let mut client_code = vec![
+        Instruction::assign(ether_src().field(), Expr::constant(CLIENT_MAC)),
+        Instruction::assign(ip_src().field(), Expr::constant(CLIENT_IP as u64)),
+    ];
+    if config.dhcp_security_check {
+        client_code.extend([
+            Instruction::allocate_meta("origEther", 48),
+            Instruction::assign(FieldRef::meta("origEther"), Expr::reference(ether_src().field())),
+            Instruction::allocate_meta("origIP", 32),
+            Instruction::assign(FieldRef::meta("origIP"), Expr::reference(ip_src().field())),
+        ]);
+    }
+    client_code.push(Instruction::forward(0));
+    let client = net.add_element(
+        ElementProgram::new("C", 1, 1).with_any_input_code(Instruction::block(client_code)),
+    );
+    // Access point: VLAN-tags the client traffic.
+    let ap = net.add_element(vlan_encap("AP", 100));
+
+    // R1: MTU filter + redirection of client traffic to the proxy (input 0);
+    // traffic coming back from the proxy (input 1) is VLAN-checked and sent on
+    // towards R2.
+    let r1_ingress = Instruction::block(vec![
+        Instruction::constrain(Condition::lt(
+            symnet_sefl::fields::ip_length().field(),
+            1536u64,
+        )),
+        Instruction::assign(symnet_sefl::fields::ether_dst().field(), Expr::constant(PROXY_MAC)),
+        Instruction::forward(0),
+    ]);
+    let r1_from_proxy = Instruction::block(vec![
+        // R1 expects VLAN-tagged frames back from the proxy: removing the tag
+        // fails if the proxy forgot to re-add it.
+        Instruction::constrain(Condition::eq(
+            symnet_sefl::fields::ether_type().field(),
+            symnet_sefl::fields::ethertype::VLAN,
+        )),
+        Instruction::forward(1),
+    ]);
+    let r1 = net.add_element(
+        ElementProgram::new("R1", 2, 2)
+            .with_input_code(0, r1_ingress)
+            .with_input_code(1, r1_from_proxy),
+    );
+
+    // The proxy: terminates and re-originates connections. For reachability
+    // purposes it forwards traffic onward, optionally stripping VLAN tags
+    // (bug) and always rewriting the Ethernet source to its own MAC.
+    let mut proxy_code = Vec::new();
+    if config.vlan_stripping_bug {
+        proxy_code.push(Instruction::constrain(Condition::eq(
+            symnet_sefl::fields::ether_type().field(),
+            symnet_sefl::fields::ethertype::VLAN,
+        )));
+        proxy_code.push(Instruction::assign(
+            symnet_sefl::fields::ether_type().field(),
+            Expr::reference(FieldRef::meta("orig-ethertype")),
+        ));
+        proxy_code.push(Instruction::deallocate(symnet_sefl::fields::vlan_id().field()));
+        proxy_code.push(Instruction::deallocate(FieldRef::meta("orig-ethertype")));
+    }
+    proxy_code.push(Instruction::assign(
+        ether_src().field(),
+        Expr::constant(PROXY_MAC),
+    ));
+    proxy_code.push(Instruction::forward(0));
+    let proxy = net.add_element(
+        ElementProgram::new("P", 1, 1).with_any_input_code(Instruction::block(proxy_code)),
+    );
+
+    // R2: the exit router, optionally running the DHCP-lease security check.
+    let mut r2_code = Vec::new();
+    if config.dhcp_security_check {
+        r2_code.push(Instruction::constrain(Condition::eq(
+            ip_src().field(),
+            Expr::reference(FieldRef::meta("origIP")),
+        )));
+        r2_code.push(Instruction::constrain(Condition::eq(
+            ether_src().field(),
+            Expr::reference(FieldRef::meta("origEther")),
+        )));
+    }
+    r2_code.push(Instruction::forward(0));
+    let r2 = net.add_element(
+        ElementProgram::new("R2", 1, 1).with_any_input_code(Instruction::block(r2_code)),
+    );
+    let internet = net.add_element(sink("Internet"));
+
+    // Wiring: C → AP → R1(in0); R1(out0) → [tunnel?] → P; P → R1(in1);
+    // R1(out1) → R2; R2 → Internet (or mirror back).
+    net.add_link(client, 0, ap, 0);
+    net.add_link(ap, 0, r1, 0);
+    if config.tunnel_to_proxy {
+        let strip = net.add_element(crate::click::ether_strip("strip-l2"));
+        let encap = net.add_element(ipip_encap("tun-in", 0x0a000001, 0x0a000002));
+        let mtu = net.add_element(mtu_filter("r1-p-link", 1536));
+        let decap = net.add_element(ipip_decap("tun-out", 0x0a000002));
+        let reencap = net.add_element(crate::click::ether_encap(
+            "re-l2",
+            PROXY_MAC,
+            PROXY_MAC,
+            symnet_sefl::fields::ethertype::VLAN,
+        ));
+        net.add_link(r1, 0, strip, 0);
+        net.add_link(strip, 0, encap, 0);
+        net.add_link(encap, 0, mtu, 0);
+        net.add_link(mtu, 0, decap, 0);
+        net.add_link(decap, 0, reencap, 0);
+        net.add_link(reencap, 0, proxy, 0);
+    } else {
+        net.add_link(r1, 0, proxy, 0);
+    }
+    net.add_link(proxy, 0, r1, 1);
+    net.add_link(r1, 1, r2, 0);
+    if config.mirror_at_r2 {
+        let mirror = net.add_element(ip_mirror("R2-mirror"));
+        net.add_link(r2, 0, mirror, 0);
+    } else {
+        net.add_link(r2, 0, internet, 0);
+    }
+
+    (
+        net,
+        SplitTcpTopology {
+            client,
+            r1,
+            proxy,
+            r2,
+            internet,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// §8.5 CS department network (Figure 11)
+// ---------------------------------------------------------------------------
+
+/// Sizing knobs of the department-network model. The defaults reproduce the
+/// published numbers: 21 devices, ~235 ports, 6000 MAC-table entries and 400
+/// routes.
+#[derive(Clone, Copy, Debug)]
+pub struct DepartmentConfig {
+    /// Number of access switches (office + lab).
+    pub access_switches: usize,
+    /// Total MAC-table entries across the switches.
+    pub mac_entries: usize,
+    /// Routing-table entries on the M1 router.
+    pub routes: usize,
+}
+
+impl Default for DepartmentConfig {
+    fn default() -> Self {
+        DepartmentConfig {
+            access_switches: 15,
+            mac_entries: 6000,
+            routes: 400,
+        }
+    }
+}
+
+/// Element ids of interest in the department network.
+#[derive(Clone, Debug)]
+pub struct DepartmentTopology {
+    /// Office-side access switch used as the injection point for §8.5's
+    /// office-to-Internet checks.
+    pub office_switch: ElementId,
+    /// The aggregation switch.
+    pub aggregation: ElementId,
+    /// The M2 master switch.
+    pub m2: ElementId,
+    /// The Cisco ASA.
+    pub asa: ElementId,
+    /// The M1 department router.
+    pub m1: ElementId,
+    /// The exit router towards the Internet (inbound injection point).
+    pub exit_router: ElementId,
+    /// The Internet sink.
+    pub internet: ElementId,
+    /// The cluster switch carrying the management VLAN.
+    pub cluster: ElementId,
+    /// Sink standing for the switches' management interfaces (the "hole").
+    pub management: ElementId,
+    /// Every access switch.
+    pub access: Vec<ElementId>,
+}
+
+/// MAC address of the ASA inside interface (the first IP hop for hosts).
+pub const ASA_MAC: u64 = 0x00a5a5a50001;
+/// The management prefix 192.168.137.0/24 of §8.5.
+pub const MANAGEMENT_PREFIX: u32 = 0xc0a88900;
+/// The department's public prefix (what the Internet routes back to M1).
+pub const DEPARTMENT_PREFIX: u32 = 0xc1000000;
+
+/// Builds the Figure 11 department network.
+pub fn department(config: DepartmentConfig) -> (Network, DepartmentTopology) {
+    let mut net = Network::new();
+
+    // Access switches: port 0 faces the hosts, port 1 faces the aggregation
+    // switch. Host-destined MACs are spread over them; traffic towards the ASA
+    // goes up.
+    let per_switch = (config.mac_entries / config.access_switches.max(1)).max(1);
+    let mut access = Vec::new();
+    for i in 0..config.access_switches {
+        let mut table = MacTable::new(2);
+        table.add(ASA_MAC, None, 1);
+        for j in 0..per_switch.saturating_sub(1) {
+            let mac = 0x0200_0000_0000 | ((i as u64) << 16) | j as u64;
+            table.add(mac, None, 0);
+        }
+        let name = if i < config.access_switches / 2 {
+            format!("office-sw{i}")
+        } else {
+            format!("lab-sw{i}")
+        };
+        access.push(net.add_element(switch_egress(&name, &table)));
+    }
+
+    // Aggregation switch: one port per access switch plus an uplink to M2.
+    let uplink = config.access_switches;
+    let mut agg_table = MacTable::new(config.access_switches + 1);
+    agg_table.add(ASA_MAC, None, uplink);
+    for (i, _) in access.iter().enumerate() {
+        agg_table.add(0x0200_0000_0000 | ((i as u64) << 16), None, i);
+    }
+    let aggregation = net.add_element(switch_egress("aggregation", &agg_table));
+
+    // M2 master switch: port 0 → aggregation (down), port 1 → ASA, port 2 →
+    // cluster switch.
+    let mut m2_table = MacTable::new(3);
+    m2_table.add(ASA_MAC, None, 1);
+    m2_table.add(0x0200_0000_0000, None, 0);
+    m2_table.add(0x0300_0000_0000, None, 2); // cluster-side MACs
+    let m2 = net.add_element(switch_egress("M2", &m2_table));
+
+    // The ASA separates the inside VLANs from the M1 router.
+    let asa_id = net.add_element(asa("ASA", &AsaConfig::default()));
+
+    // M1: the department router. Its forwarding table has the department
+    // public prefix towards the ASA side, the management prefix towards the
+    // cluster (the §8.5 leak) and a default route to the exit router.
+    let mut m1_fib = Fib::new(3);
+    m1_fib.add(DEPARTMENT_PREFIX, 16, 0); // back towards the ASA / inside
+    m1_fib.add(MANAGEMENT_PREFIX, 24, 1); // the management VLAN leak
+    m1_fib.add(0, 0, 2); // default: Internet
+    for i in 0..config.routes.saturating_sub(3) {
+        let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        m1_fib.add((h as u32) & 0xffff_ff00, 24, 2);
+    }
+    let m1 = net.add_element(router_egress("M1", &m1_fib));
+
+    // Exit router and Internet.
+    let exit_fib = {
+        let mut f = Fib::new(2);
+        f.add(DEPARTMENT_PREFIX, 16, 0); // towards M1
+        f.add(MANAGEMENT_PREFIX, 24, 0); // ...including the leaked prefix
+        f.add(0, 0, 1); // Internet
+        f
+    };
+    let exit_router = net.add_element(router_egress("exit", &exit_fib));
+    let internet = net.add_element(sink("Internet"));
+
+    // Cluster switch and the management sink ("hole" / switch management
+    // interfaces).
+    let cluster = net.add_element(
+        ElementProgram::new("cluster", 1, 1).with_any_input_code(Instruction::block(vec![
+            Instruction::constrain(Condition::matches_ipv4_prefix(
+                ip_dst().field(),
+                MANAGEMENT_PREFIX as u64,
+                24,
+            )),
+            Instruction::forward(0),
+        ])),
+    );
+    let management = net.add_element(sink("management"));
+
+    // Wiring. Hosts inject at an access switch input port 0.
+    for (i, &sw) in access.iter().enumerate() {
+        net.add_link(sw, 1, aggregation, i);
+    }
+    net.add_link(aggregation, uplink, m2, 0);
+    net.add_link(m2, 1, asa_id, 0); // inside → ASA
+    net.add_link(asa_id, 0, m1, 0); // ASA outside → M1
+    net.add_link(m1, 2, exit_router, 0); // default route → exit
+    net.add_link(exit_router, 1, internet, 0);
+    net.add_link(exit_router, 0, m1, 1); // inbound: exit → M1
+    net.add_link(m1, 1, cluster, 0); // the management leak path
+    net.add_link(cluster, 0, management, 0);
+    // Return direction towards the inside: M1 → ASA (outside input).
+    net.add_link(m1, 0, asa_id, 1);
+    net.add_link(asa_id, 1, m2, 1);
+    net.add_link(m2, 0, aggregation, uplink);
+
+    (
+        net,
+        DepartmentTopology {
+            office_switch: access[0],
+            aggregation,
+            m2,
+            asa: asa_id,
+            m1,
+            exit_router,
+            internet,
+            cluster,
+            management,
+            access,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Stanford-like backbone (Table 3)
+// ---------------------------------------------------------------------------
+
+/// A synthetic Stanford-like backbone: `zone_routers` zone routers, each with
+/// a FIB of `prefixes_per_router` entries, dual-homed to two core routers.
+/// Reachability is run from an access port of the first zone router to the
+/// cores, as in the Table 3 experiment.
+#[derive(Clone, Debug)]
+pub struct Backbone {
+    /// The network.
+    pub network: Network,
+    /// The injection (access) element.
+    pub access: ElementId,
+    /// The core routers.
+    pub cores: Vec<ElementId>,
+    /// Per-router FIBs (name, table), used by the HSA baseline to build its
+    /// own transfer functions from the same data.
+    pub fibs: Vec<(String, Fib)>,
+}
+
+/// Builds the synthetic backbone.
+pub fn stanford_backbone(zone_routers: usize, prefixes_per_router: usize) -> Backbone {
+    let mut net = Network::new();
+    let mut fibs = Vec::new();
+
+    // Two cores with a default route each (they terminate the paths).
+    let mut cores = Vec::new();
+    for c in 0..2usize {
+        let mut fib = Fib::new(2);
+        fib.add(0, 0, 1);
+        let name = format!("core{c}");
+        cores.push(net.add_element(router_egress(&name, &fib)));
+        fibs.push((name, fib));
+    }
+
+    // Zone routers: port 0 → core0, port 1 → core1, port 2 → local (unused
+    // uplink for delivered local traffic).
+    let mut zones = Vec::new();
+    for z in 0..zone_routers {
+        let mut fib = Fib::new(3);
+        for i in 0..prefixes_per_router {
+            let h = ((z * 131071 + i) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let port = (h % 2) as usize;
+            fib.add((h as u32) & 0xffff_ff00, 24, port);
+        }
+        // Local subnet delivered locally.
+        fib.add(0x0a000000 + ((z as u32) << 16), 16, 2);
+        let name = format!("zone{z}");
+        zones.push(net.add_element(router_egress(&name, &fib)));
+        fibs.push((name, fib));
+    }
+
+    // The access element injects into zone 0.
+    let access = net.add_element(wire("access"));
+    net.add_link(access, 0, zones[0], 0);
+    for &z in &zones {
+        net.add_link(z, 0, cores[0], 0);
+        net.add_link(z, 1, cores[1], 0);
+    }
+
+    Backbone {
+        network: net,
+        access,
+        cores,
+        fibs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::engine::{ExecConfig, SymNet};
+    use symnet_core::verify::field_invariant;
+    use symnet_core::verify::Tristate;
+    use symnet_sefl::fields::{ip_length, tcp_payload};
+    use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
+
+    #[test]
+    fn tunnel_chain_preserves_packet_contents() {
+        let (net, a, b) = tunnel_chain();
+        let engine = SymNet::new(net);
+        let report = engine.inject(a, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered_at(b, 0).count(), 1);
+        let path = report.delivered_at(b, 0).next().unwrap();
+        // §2: packet contents are invariant across the tunnel chain.
+        for field in [
+            ip_src().field(),
+            ip_dst().field(),
+            symnet_sefl::fields::tcp_dst().field(),
+            tcp_payload().field(),
+        ] {
+            assert_eq!(
+                field_invariant(&report.injected, path, &field),
+                Ok(Tristate::Always)
+            );
+        }
+    }
+
+    fn split_tcp_packet() -> Instruction {
+        Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::constrain(Condition::eq(
+                symnet_sefl::fields::ip_proto().field(),
+                symnet_sefl::fields::ipproto::TCP,
+            )),
+        ])
+    }
+
+    #[test]
+    fn split_tcp_all_paths_cross_the_proxy() {
+        let (net, topo) = split_tcp(SplitTcpConfig::default());
+        let engine = SymNet::new(net);
+        let report = engine.inject(topo.client, 0, &split_tcp_packet());
+        assert!(report.delivered_at(topo.internet, 0).count() >= 1);
+        for path in report.delivered_at(topo.internet, 0) {
+            assert!(
+                path.ports_visited().iter().any(|p| p.starts_with("P:")),
+                "every delivered path must traverse the proxy"
+            );
+        }
+    }
+
+    #[test]
+    fn split_tcp_mtu_constraint_tightens_with_the_tunnel() {
+        // Without the tunnel the client may send up to 1535 bytes ...
+        let (net, topo) = split_tcp(SplitTcpConfig::default());
+        let engine = SymNet::new(net);
+        let report = engine.inject(topo.client, 0, &split_tcp_packet());
+        let path = report.delivered_at(topo.internet, 0).next().unwrap();
+        let allowed = symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
+        assert_eq!(allowed.max(), Some(1535));
+        // ... with the IP-in-IP tunnel towards the proxy the limit drops by 20.
+        let (net, topo) = split_tcp(SplitTcpConfig {
+            tunnel_to_proxy: true,
+            ..Default::default()
+        });
+        let engine = SymNet::new(net);
+        let report = engine.inject(topo.client, 0, &split_tcp_packet());
+        assert!(report.delivered_at(topo.internet, 0).count() >= 1);
+        let path = report.delivered_at(topo.internet, 0).next().unwrap();
+        let allowed = symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
+        assert_eq!(allowed.max(), Some(1515));
+    }
+
+    #[test]
+    fn split_tcp_missing_vlan_tag_blackholes_traffic() {
+        let (net, topo) = split_tcp(SplitTcpConfig {
+            vlan_stripping_bug: true,
+            ..Default::default()
+        });
+        let engine = SymNet::new(net);
+        let report = engine.inject(topo.client, 0, &split_tcp_packet());
+        assert_eq!(
+            report.delivered_at(topo.internet, 0).count(),
+            0,
+            "R1 drops untagged frames returning from the proxy"
+        );
+    }
+
+    #[test]
+    fn split_tcp_dhcp_check_drops_proxied_traffic() {
+        let (net, topo) = split_tcp(SplitTcpConfig {
+            dhcp_security_check: true,
+            ..Default::default()
+        });
+        let engine = SymNet::new(net);
+        let report = engine.inject(topo.client, 0, &split_tcp_packet());
+        assert_eq!(
+            report.delivered_at(topo.internet, 0).count(),
+            0,
+            "R2 drops packets whose source MAC was rewritten by the proxy"
+        );
+    }
+
+    #[test]
+    fn department_office_reaches_internet_through_the_asa() {
+        let (net, topo) = department(DepartmentConfig {
+            access_switches: 4,
+            mac_entries: 200,
+            routes: 20,
+        });
+        let engine = SymNet::with_config(
+            net,
+            ExecConfig {
+                max_hops: 32,
+                ..Default::default()
+            },
+        );
+        let pkt = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            crate::tcp_options::symbolic_options_metadata(),
+            Instruction::constrain(Condition::ne(
+                ip_src().field(),
+                Expr::reference(ip_dst().field()),
+            )),
+        ]);
+        let report = engine.inject(topo.office_switch, 0, &pkt);
+        let internet_paths: Vec<_> = report.delivered_at(topo.internet, 0).collect();
+        assert!(!internet_paths.is_empty(), "office must reach the Internet");
+        for path in &internet_paths {
+            assert!(
+                path.ports_visited().iter().any(|p| p.starts_with("ASA:")),
+                "Internet-bound traffic must cross the ASA"
+            );
+            // The default ASA configuration tampers with TCP options: MPTCP is
+            // removed (§8.5's surprise finding).
+            assert_eq!(
+                path.state
+                    .read_meta(&crate::tcp_options::opt_key(crate::tcp_options::option_kind::MPTCP))
+                    .map(|s| s.value),
+                Ok(symnet_core::Value::Concrete(0))
+            );
+        }
+    }
+
+    #[test]
+    fn department_inbound_reaches_management_vlan_without_the_asa() {
+        let (net, topo) = department(DepartmentConfig {
+            access_switches: 4,
+            mac_entries: 200,
+            routes: 20,
+        });
+        let engine = SymNet::new(net);
+        let report = engine.inject(topo.exit_router, 0, &symbolic_l3_tcp_packet());
+        let leaked: Vec<_> = report.delivered_at(topo.management, 0).collect();
+        assert!(
+            !leaked.is_empty(),
+            "the management VLAN must be reachable from the outside via M1"
+        );
+        for path in &leaked {
+            assert!(
+                !path.ports_visited().iter().any(|p| p.starts_with("ASA:")),
+                "the leak bypasses the ASA entirely"
+            );
+            let allowed = symnet_core::verify::allowed_values(path, &ip_dst().field()).unwrap();
+            assert!(allowed.contains(0xc0a88901), "192.168.137.0/24 is exposed");
+        }
+    }
+
+    #[test]
+    fn department_has_published_scale_with_default_config() {
+        let (net, _) = department(DepartmentConfig::default());
+        assert_eq!(net.element_count(), 23);
+        assert!(net.port_count() >= 50);
+    }
+
+    #[test]
+    fn backbone_reaches_both_cores() {
+        let backbone = stanford_backbone(4, 50);
+        let engine = SymNet::new(backbone.network.clone());
+        let report = engine.inject(backbone.access, 0, &symbolic_l3_tcp_packet());
+        for core in &backbone.cores {
+            assert!(
+                report.delivered_at(*core, 1).count() >= 1,
+                "core must be reachable from the access router"
+            );
+        }
+        assert_eq!(backbone.fibs.len(), 6);
+    }
+}

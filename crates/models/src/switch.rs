@@ -1,0 +1,350 @@
+//! Learning-switch models generated from MAC tables.
+//!
+//! §7 "Modeling switch behaviour" and the Figure 8 evaluation compare three
+//! model variants of the same switch:
+//!
+//! * **basic** — a lookup table with one `If` per MAC entry, equivalent to
+//!   running a generic symbolic executor on switch forwarding code; the number
+//!   of paths equals the number of entries.
+//! * **ingress** — entries grouped per output port, nested `If`s applied on
+//!   the input port; the number of paths equals the number of ports but the
+//!   `else` branches accumulate negated constraints (quadratic growth).
+//! * **egress** — the packet is forked to every output port and each output
+//!   port constrains the destination MAC to its own group; optimal branching
+//!   *and* a minimal total constraint count. This is the variant used in the
+//!   rest of the paper's evaluation.
+
+use symnet_sefl::cond::Condition;
+use symnet_sefl::fields::{ether_dst, vlan_id};
+use symnet_sefl::{ElementProgram, Instruction};
+
+/// One `(MAC, VLAN, output port)` entry of a switch MAC table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacTableEntry {
+    /// Destination MAC address (48 bits).
+    pub mac: u64,
+    /// Optional VLAN id the entry applies to.
+    pub vlan: Option<u64>,
+    /// Output port the frame is forwarded on.
+    pub port: usize,
+}
+
+/// A snapshot of a switch MAC table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MacTable {
+    /// Number of switch ports.
+    pub port_count: usize,
+    /// Table entries.
+    pub entries: Vec<MacTableEntry>,
+}
+
+impl MacTable {
+    /// Creates an empty table for a switch with `port_count` ports.
+    pub fn new(port_count: usize) -> Self {
+        MacTable {
+            port_count,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds an entry.
+    pub fn add(&mut self, mac: u64, vlan: Option<u64>, port: usize) -> &mut Self {
+        assert!(port < self.port_count, "port {port} out of range");
+        self.entries.push(MacTableEntry { mac, vlan, port });
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The MAC addresses forwarded to `port`.
+    pub fn macs_for_port(&self, port: usize) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.port == port)
+            .map(|e| e.mac)
+            .collect()
+    }
+
+    /// Ports that appear in at least one entry.
+    pub fn ports_in_use(&self) -> Vec<usize> {
+        let mut ports: Vec<usize> = self.entries.iter().map(|e| e.port).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        ports
+    }
+
+    /// Deterministically generates a synthetic MAC table with `entries`
+    /// entries spread round-robin over `port_count` ports — the workload
+    /// generator behind the Figure 8 sweep ("to generate more entries in the
+    /// MAC table, we duplicate existing entries ...; each entry gets a unique
+    /// destination MAC address").
+    pub fn synthetic(entries: usize, port_count: usize) -> Self {
+        let mut table = MacTable::new(port_count);
+        for i in 0..entries {
+            // Knuth multiplicative hashing spreads MACs over the 48-bit space
+            // without needing a random number generator (determinism keeps the
+            // benchmarks reproducible).
+            let mac = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) & 0xffff_ffff_ffff;
+            table.add(mac, None, i % port_count);
+        }
+        table
+    }
+}
+
+/// Condition matching any of the given MAC addresses on `EtherDst`.
+fn macs_condition(macs: &[u64]) -> Condition {
+    Condition::or(
+        macs.iter()
+            .map(|m| Condition::eq(ether_dst().field(), *m))
+            .collect(),
+    )
+}
+
+/// The *basic* switch model: one `If` per table entry, most specific to least.
+/// Equivalent to naively symbolically executing the forwarding code; only
+/// usable for small tables (Figure 8 runs out of memory beyond ~1000 entries).
+pub fn switch_basic(name: &str, table: &MacTable) -> ElementProgram {
+    let mut code = Instruction::fail("Mac unknown");
+    for entry in table.entries.iter().rev() {
+        code = Instruction::if_else(
+            Condition::eq(ether_dst().field(), entry.mac),
+            Instruction::forward(entry.port),
+            code,
+        );
+    }
+    ElementProgram::new(name, table.port_count, table.port_count).with_any_input_code(code)
+}
+
+/// The *ingress* switch model: MACs grouped per output port, nested `If`s on
+/// the input port. Optimal branching, but the k-th port's path carries the
+/// negated constraints of the k-1 preceding ports.
+pub fn switch_ingress(name: &str, table: &MacTable) -> ElementProgram {
+    let mut code = Instruction::fail("Mac unknown");
+    for port in table.ports_in_use().into_iter().rev() {
+        let macs = table.macs_for_port(port);
+        code = Instruction::if_else(
+            macs_condition(&macs),
+            Instruction::forward(port),
+            code,
+        );
+    }
+    ElementProgram::new(name, table.port_count, table.port_count).with_any_input_code(code)
+}
+
+/// The *egress* switch model: fork to every port in use, constrain per output
+/// port. Optimal branching and a total constraint count equal to the number of
+/// table entries; correct because MAC-table entries are mutually exclusive
+/// (§7: "which always holds for MAC tables due to the spanning tree
+/// algorithm").
+pub fn switch_egress(name: &str, table: &MacTable) -> ElementProgram {
+    let ports = table.ports_in_use();
+    let mut program = ElementProgram::new(name, table.port_count, table.port_count)
+        .with_any_input_code(Instruction::fork(ports.clone()));
+    for port in ports {
+        let macs = table.macs_for_port(port);
+        program.set_output_code(port, Instruction::constrain(macs_condition(&macs)));
+    }
+    program
+}
+
+/// A VLAN-aware egress switch: frames are additionally constrained to carry
+/// the VLAN id of the matching entry (used by the department-network model of
+/// §8.5 where access switches tag lab and office traffic).
+pub fn switch_egress_vlan(name: &str, table: &MacTable) -> ElementProgram {
+    let ports = table.ports_in_use();
+    let mut program = ElementProgram::new(name, table.port_count, table.port_count)
+        .with_any_input_code(Instruction::fork(ports.clone()));
+    for port in ports {
+        let conds: Vec<Condition> = table
+            .entries
+            .iter()
+            .filter(|e| e.port == port)
+            .map(|e| match e.vlan {
+                None => Condition::eq(ether_dst().field(), e.mac),
+                Some(vlan) => Condition::and(vec![
+                    Condition::eq(ether_dst().field(), e.mac),
+                    Condition::eq(vlan_id().field(), vlan),
+                ]),
+            })
+            .collect();
+        program.set_output_code(port, Instruction::constrain(Condition::or(conds)));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::engine::SymNet;
+    use symnet_core::network::Network;
+    use symnet_core::value::Value;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    fn small_table() -> MacTable {
+        let mut t = MacTable::new(4);
+        t.add(0x0000_0000_0001, None, 0)
+            .add(0x0000_0000_0002, None, 0)
+            .add(0x0000_0000_0003, None, 1)
+            .add(0x0000_0000_0004, None, 2);
+        t
+    }
+
+    fn run(program: ElementProgram) -> (symnet_core::engine::ExecutionReport, symnet_core::ElementId) {
+        let mut net = Network::new();
+        let id = net.add_element(program);
+        let engine = SymNet::new(net);
+        (engine.inject(id, 0, &symbolic_tcp_packet()), id)
+    }
+
+    #[test]
+    fn synthetic_tables_are_deterministic_and_unique() {
+        let a = MacTable::synthetic(1000, 20);
+        let b = MacTable::synthetic(1000, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        let mut macs: Vec<u64> = a.entries.iter().map(|e| e.mac).collect();
+        macs.sort_unstable();
+        macs.dedup();
+        assert_eq!(macs.len(), 1000, "every entry gets a unique MAC");
+        assert_eq!(a.ports_in_use().len(), 20);
+    }
+
+    #[test]
+    fn all_three_models_deliver_one_path_per_port_in_use() {
+        let table = small_table();
+        for (model, name) in [
+            (switch_basic("sw", &table), "basic"),
+            (switch_ingress("sw", &table), "ingress"),
+            (switch_egress("sw", &table), "egress"),
+        ] {
+            let (report, _) = run(model);
+            // Ports 0, 1, 2 are in use; port 3 is not.
+            let delivered = report.delivered().count();
+            match name {
+                // The basic model produces one path per *entry* (4), the other
+                // two one path per port in use (3).
+                "basic" => assert_eq!(delivered, 4, "{name}"),
+                _ => assert_eq!(delivered, 3, "{name}"),
+            }
+        }
+    }
+
+    #[test]
+    fn egress_model_constrains_macs_per_port() {
+        let table = small_table();
+        let (report, id) = run(switch_egress("sw", &table));
+        // Port 0 admits exactly MACs 1 and 2.
+        let path = report.delivered_at(id, 0).next().unwrap();
+        let allowed =
+            symnet_core::verify::allowed_values(path, &ether_dst().field()).unwrap();
+        assert_eq!(allowed.cardinality(), 2);
+        assert!(allowed.contains(1));
+        assert!(allowed.contains(2));
+        assert!(!allowed.contains(3));
+        // Port 2 admits only MAC 4.
+        let path = report.delivered_at(id, 2).next().unwrap();
+        let allowed =
+            symnet_core::verify::allowed_values(path, &ether_dst().field()).unwrap();
+        assert_eq!(allowed.cardinality(), 1);
+        assert!(allowed.contains(4));
+    }
+
+    #[test]
+    fn basic_model_forwards_concrete_macs_correctly() {
+        let table = small_table();
+        let mut net = Network::new();
+        let id = net.add_element(switch_basic("sw", &table));
+        let engine = SymNet::new(net);
+        // A packet with a concrete destination MAC 3 goes to port 1 only.
+        let pkt = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::assign(ether_dst().field(), symnet_sefl::Expr::constant(3)),
+        ]);
+        let report = engine.inject(id, 0, &pkt);
+        assert_eq!(report.delivered().count(), 1);
+        assert_eq!(report.delivered_at(id, 1).count(), 1);
+    }
+
+    #[test]
+    fn unknown_mac_fails_on_basic_and_ingress() {
+        let table = small_table();
+        let mut net = Network::new();
+        let id = net.add_element(switch_basic("sw", &table));
+        let engine = SymNet::new(net);
+        let pkt = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::assign(ether_dst().field(), symnet_sefl::Expr::constant(0xdead)),
+        ]);
+        let report = engine.inject(id, 0, &pkt);
+        assert_eq!(report.delivered().count(), 0);
+        assert!(report.paths.iter().any(|p| matches!(
+            &p.status,
+            symnet_core::engine::PathStatus::Dropped {
+                reason: symnet_core::DropReason::Failed(msg),
+                ..
+            } if msg == "Mac unknown"
+        )));
+    }
+
+    #[test]
+    fn ingress_paths_carry_more_constraint_atoms_than_egress() {
+        // The quadratic-vs-linear constraint growth of §8.1.
+        let table = MacTable::synthetic(200, 10);
+        let (ingress_report, _) = run(switch_ingress("sw", &table));
+        let (egress_report, _) = run(switch_egress("sw", &table));
+        let ingress_atoms: usize = ingress_report
+            .delivered()
+            .map(|p| p.state.constraint_atoms())
+            .sum();
+        let egress_atoms: usize = egress_report
+            .delivered()
+            .map(|p| p.state.constraint_atoms())
+            .sum();
+        assert!(
+            ingress_atoms > egress_atoms,
+            "ingress {ingress_atoms} should exceed egress {egress_atoms}"
+        );
+        // Egress total equals the number of table entries.
+        assert_eq!(egress_atoms, table.len());
+    }
+
+    #[test]
+    fn vlan_switch_restricts_vlan_ids() {
+        let mut table = MacTable::new(2);
+        table.add(0x1, Some(302), 0).add(0x2, Some(304), 1);
+        let mut net = Network::new();
+        let id = net.add_element(switch_egress_vlan("sw", &table));
+        let engine = SymNet::new(net);
+        // The frame must actually carry a VLAN tag for the VLAN-aware switch.
+        let tagged = Instruction::block(vec![
+            symbolic_tcp_packet(),
+            Instruction::allocate_header(vlan_id().addr.clone(), vlan_id().width),
+            Instruction::assign(vlan_id().field(), symnet_sefl::Expr::symbolic()),
+        ]);
+        let report = engine.inject(id, 0, &tagged);
+        assert_eq!(report.delivered().count(), 2);
+        let path = report.delivered_at(id, 0).next().unwrap();
+        let vlan = symnet_core::verify::allowed_values(path, &vlan_id().field()).unwrap();
+        assert_eq!(vlan.cardinality(), 1);
+        assert!(vlan.contains(302));
+    }
+
+    #[test]
+    fn concrete_mac_value_survives_egress_model() {
+        // Header visibility: the egress model never rewrites the frame.
+        let table = small_table();
+        let (report, _) = run(switch_egress("sw", &table));
+        for path in report.delivered() {
+            let slot = path.state.read_field(&ether_dst().field(), "").unwrap();
+            assert!(matches!(slot.value, Value::Sym { .. }), "field untouched");
+        }
+    }
+}

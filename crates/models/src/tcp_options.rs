@@ -1,0 +1,313 @@
+//! The CISCO ASA TCP-options parsing model (Figure 7 and §8.2).
+//!
+//! The C code of Figure 1 walks the raw options bytes in a loop with branches
+//! in the body, which is what makes classic symbolic execution explode
+//! (Table 1). The SEFL model instead *pre-parses* the options into metadata:
+//! every option kind `x` has a metadata variable `OPTx` (1 = present,
+//! 0 = absent), plus `SIZEx` and `VALx` for its length and body. Stripping an
+//! option is a plain assignment — no branching — and the only `If` in the
+//! model is the HTTP special case, so the model symbolically executes in
+//! milliseconds regardless of the options-field length.
+
+use symnet_sefl::cond::Condition;
+use symnet_sefl::expr::Expr;
+use symnet_sefl::field::FieldRef;
+use symnet_sefl::fields::tcp_dst;
+use symnet_sefl::{ElementProgram, Instruction};
+
+/// TCP option kind numbers used throughout the evaluation.
+pub mod option_kind {
+    /// Maximum segment size.
+    pub const MSS: u8 = 2;
+    /// Window scale.
+    pub const WSCALE: u8 = 3;
+    /// SACK permitted.
+    pub const SACK_OK: u8 = 4;
+    /// SACK blocks.
+    pub const SACK: u8 = 5;
+    /// Timestamps.
+    pub const TIMESTAMP: u8 = 8;
+    /// Multipath TCP.
+    pub const MPTCP: u8 = 30;
+    /// An experimental/unknown option used to probe "new IETF transport"
+    /// behaviour (§2).
+    pub const EXPERIMENT: u8 = 253;
+}
+
+/// The option kinds modeled by default (the universe of `OPTx` variables).
+pub fn modeled_options() -> Vec<u8> {
+    vec![
+        option_kind::MSS,
+        option_kind::WSCALE,
+        option_kind::SACK_OK,
+        option_kind::SACK,
+        option_kind::TIMESTAMP,
+        option_kind::MPTCP,
+        option_kind::EXPERIMENT,
+    ]
+}
+
+/// Metadata key of the presence flag for option `kind`.
+pub fn opt_key(kind: u8) -> String {
+    format!("OPT{kind}")
+}
+
+/// Metadata key of the length variable for option `kind`.
+pub fn size_key(kind: u8) -> String {
+    format!("SIZE{kind}")
+}
+
+/// Metadata key of the value variable for option `kind`.
+pub fn val_key(kind: u8) -> String {
+    format!("VAL{kind}")
+}
+
+/// An instruction block that adds a fully symbolic pre-parsed options field to
+/// a packet: every modeled option's presence flag is a symbolic 0/1 value and
+/// its size/value are unconstrained symbols. Append this to a symbolic TCP
+/// packet before injecting it.
+pub fn symbolic_options_metadata() -> Instruction {
+    let mut code = Vec::new();
+    for kind in modeled_options() {
+        let opt = opt_key(kind);
+        let size = size_key(kind);
+        let val = val_key(kind);
+        code.push(Instruction::allocate_meta(opt.clone(), 8));
+        code.push(Instruction::assign(FieldRef::meta(opt.clone()), Expr::symbolic()));
+        code.push(Instruction::constrain(Condition::le(
+            FieldRef::meta(opt),
+            1u64,
+        )));
+        code.push(Instruction::allocate_meta(size.clone(), 8));
+        code.push(Instruction::assign(FieldRef::meta(size), Expr::symbolic()));
+        code.push(Instruction::allocate_meta(val.clone(), 32));
+        code.push(Instruction::assign(FieldRef::meta(val), Expr::symbolic()));
+    }
+    Instruction::block(code)
+}
+
+/// Configuration of the ASA options filter.
+#[derive(Clone, Debug)]
+pub struct AsaOptionsConfig {
+    /// Options allowed through unchanged.
+    pub allowed: Vec<u8>,
+    /// MSS clamp value (the default ASA configuration rewrites MSS to at most
+    /// 1380).
+    pub mss_clamp: u64,
+    /// Strip SACK-OK for HTTP traffic (destination port 80), as in Figure 7.
+    pub strip_sackok_for_http: bool,
+}
+
+impl Default for AsaOptionsConfig {
+    fn default() -> Self {
+        AsaOptionsConfig {
+            allowed: vec![
+                option_kind::MSS,
+                option_kind::WSCALE,
+                option_kind::SACK_OK,
+                option_kind::TIMESTAMP,
+            ],
+            mss_clamp: 1380,
+            strip_sackok_for_http: true,
+        }
+    }
+}
+
+/// The instruction block implementing the Figure 7 options-filter logic
+/// (usable standalone or inside a larger pipeline such as the ASA model).
+pub fn asa_options_code(config: &AsaOptionsConfig) -> Instruction {
+    let mut code = Vec::new();
+    // Strip every modeled option that is not in the allowed set — a plain
+    // assignment, no branching.
+    for kind in modeled_options() {
+        if !config.allowed.contains(&kind) {
+            code.push(Instruction::assign(
+                FieldRef::meta(opt_key(kind)),
+                Expr::constant(0),
+            ));
+        }
+    }
+    // SACK-OK is stripped only for HTTP traffic.
+    if config.strip_sackok_for_http {
+        code.push(Instruction::if_then(
+            Condition::eq(tcp_dst().field(), 80u64),
+            Instruction::assign(FieldRef::meta(opt_key(option_kind::SACK_OK)), Expr::constant(0)),
+        ));
+    }
+    // The MSS option is always present after the ASA (it adds one if missing)
+    // and its value is clamped.
+    code.push(Instruction::assign(
+        FieldRef::meta(opt_key(option_kind::MSS)),
+        Expr::constant(1),
+    ));
+    code.push(Instruction::assign(
+        FieldRef::meta(size_key(option_kind::MSS)),
+        Expr::constant(4),
+    ));
+    code.push(Instruction::if_then(
+        Condition::gt(FieldRef::meta(val_key(option_kind::MSS)), config.mss_clamp),
+        Instruction::assign(
+            FieldRef::meta(val_key(option_kind::MSS)),
+            Expr::constant(config.mss_clamp),
+        ),
+    ));
+    Instruction::block(code)
+}
+
+/// The standalone `TCPOptions` element of the ASA Click pipeline (§7.2).
+pub fn asa_options_filter(name: &str, config: &AsaOptionsConfig) -> ElementProgram {
+    ElementProgram::new(name, 1, 1).with_any_input_code(Instruction::block(vec![
+        asa_options_code(config),
+        Instruction::forward(0),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::engine::SymNet;
+    use symnet_core::network::Network;
+    use symnet_core::value::Value;
+    use symnet_core::verify::allowed_values;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    fn options_packet() -> Instruction {
+        Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()])
+    }
+
+    fn run(config: &AsaOptionsConfig, packet: &Instruction) -> symnet_core::engine::ExecutionReport {
+        let mut net = Network::new();
+        let id = net.add_element(asa_options_filter("asa-options", config));
+        let engine = SymNet::new(net);
+        engine.inject(id, 0, packet)
+    }
+
+    #[test]
+    fn model_branching_is_tiny() {
+        // The whole point of the SEFL model: a couple of branches, independent
+        // of the options-field length (compare Table 1's exponential blowup).
+        let program = asa_options_filter("o", &AsaOptionsConfig::default());
+        assert!(program.max_branching() <= 4);
+    }
+
+    #[test]
+    fn multipath_and_unknown_options_are_always_stripped() {
+        let report = run(&AsaOptionsConfig::default(), &options_packet());
+        assert!(report.delivered().count() >= 1);
+        for path in report.delivered() {
+            assert_eq!(
+                path.state.read_meta(&opt_key(option_kind::MPTCP)).unwrap().value,
+                Value::Concrete(0),
+                "MPTCP must be stripped"
+            );
+            assert_eq!(
+                path.state
+                    .read_meta(&opt_key(option_kind::EXPERIMENT))
+                    .unwrap()
+                    .value,
+                Value::Concrete(0),
+                "unknown options must be stripped"
+            );
+            assert_eq!(
+                path.state.read_meta(&opt_key(option_kind::SACK)).unwrap().value,
+                Value::Concrete(0),
+                "SACK blocks are not in the allowed set"
+            );
+        }
+    }
+
+    #[test]
+    fn mss_is_always_added_and_clamped() {
+        let report = run(&AsaOptionsConfig::default(), &options_packet());
+        for path in report.delivered() {
+            assert_eq!(
+                path.state.read_meta(&opt_key(option_kind::MSS)).unwrap().value,
+                Value::Concrete(1),
+                "MSS is always present after the ASA"
+            );
+            let mss = allowed_values(path, &FieldRef::meta(val_key(option_kind::MSS))).unwrap();
+            assert!(mss.max().unwrap() <= 1380, "MSS must be clamped to 1380");
+        }
+    }
+
+    #[test]
+    fn sackok_is_stripped_only_for_http() {
+        let http_packet = Instruction::block(vec![
+            options_packet(),
+            Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::SACK_OK)), 1u64)),
+        ]);
+        let report = run(&AsaOptionsConfig::default(), &http_packet);
+        for path in report.delivered() {
+            assert_eq!(
+                path.state
+                    .read_meta(&opt_key(option_kind::SACK_OK))
+                    .unwrap()
+                    .value,
+                Value::Concrete(0),
+                "SACK-OK must be stripped for HTTP"
+            );
+        }
+        // Non-HTTP traffic keeps SACK-OK.
+        let ssh_packet = Instruction::block(vec![
+            options_packet(),
+            Instruction::constrain(Condition::eq(tcp_dst().field(), 22u64)),
+            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::SACK_OK)), 1u64)),
+        ]);
+        let report = run(&AsaOptionsConfig::default(), &ssh_packet);
+        assert!(report.delivered().any(|path| {
+            path.state
+                .read_meta(&opt_key(option_kind::SACK_OK))
+                .unwrap()
+                .value
+                != Value::Concrete(0)
+        }));
+    }
+
+    #[test]
+    fn allowed_options_pass_in_any_combination() {
+        // §8.2: SymNet shows all allowed options are permitted simultaneously,
+        // which Klee got wrong on short options fields.
+        let all_on = Instruction::block(vec![
+            options_packet(),
+            Instruction::constrain(Condition::ne(tcp_dst().field(), 80u64)),
+            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::MSS)), 1u64)),
+            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::WSCALE)), 1u64)),
+            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::SACK_OK)), 1u64)),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::TIMESTAMP)),
+                1u64,
+            )),
+        ]);
+        let report = run(&AsaOptionsConfig::default(), &all_on);
+        assert!(report.delivered().count() >= 1);
+        let path = report.delivered().next().unwrap();
+        for kind in [
+            option_kind::WSCALE,
+            option_kind::SACK_OK,
+            option_kind::TIMESTAMP,
+        ] {
+            let allowed = allowed_values(path, &FieldRef::meta(opt_key(kind))).unwrap();
+            assert!(allowed.contains(1), "option {kind} must be allowed through");
+        }
+    }
+
+    #[test]
+    fn timestamp_is_allowed_through() {
+        // Klee on ≤6-byte option fields wrongly concluded the timestamp option
+        // was blocked; the model shows it passes.
+        let ts_on = Instruction::block(vec![
+            options_packet(),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::TIMESTAMP)),
+                1u64,
+            )),
+        ]);
+        let report = run(&AsaOptionsConfig::default(), &ts_on);
+        assert!(report.delivered().any(|path| {
+            allowed_values(path, &FieldRef::meta(opt_key(option_kind::TIMESTAMP)))
+                .unwrap()
+                .contains(1)
+        }));
+    }
+}

@@ -1,0 +1,267 @@
+//! Tunnels, MTU filters and encryption (§2 and §7 of the paper).
+//!
+//! IP-in-IP encapsulation prepends a new IPv4 header in front of the current
+//! one by moving the `L3` tag 160 bits to the left and allocating the outer
+//! header there (Figure 6, bottom packet); the inner header stays allocated
+//! but becomes unreachable through the layer tags, and the `L4` tag is
+//! destroyed so that any premature access to transport fields fails the path.
+//! Decapsulation deallocates the outer header and restores the tags.
+//!
+//! Encryption replaces the TCP payload with a fresh symbolic value (no box can
+//! recover the plaintext), and decryption with the matching key deallocates
+//! the ciphertext, which uncovers the original payload on the value stack.
+
+use symnet_sefl::cond::Condition;
+use symnet_sefl::expr::Expr;
+use symnet_sefl::field::{FieldRef, HeaderAddr};
+use symnet_sefl::fields::{
+    ip_dst, ip_length, ip_proto, ip_src, ipproto, ipv4_fields, tcp_payload, IPV4_HEADER_BITS,
+    TAG_L3, TAG_L4,
+};
+use symnet_sefl::{ElementProgram, Instruction};
+
+/// Bit address the `L4` tag is parked at while the packet is encapsulated —
+/// far away from any real allocation, so transport-field accesses fail.
+const L4_POISON: i64 = -(1 << 40);
+
+/// IP-in-IP encapsulation endpoint: wraps the packet in an outer IPv4 header
+/// with the given tunnel source and destination addresses.
+pub fn ipip_encap(name: &str, tunnel_src: u32, tunnel_dst: u32) -> ElementProgram {
+    let mut code = vec![
+        // Remember the inner total length before the tags move.
+        Instruction::allocate_local_meta("inner-length", 16),
+        Instruction::assign(
+            FieldRef::meta("inner-length"),
+            Expr::reference(ip_length().field()),
+        ),
+        Instruction::allocate_local_meta("inner-proto", 8),
+        Instruction::assign(
+            FieldRef::meta("inner-proto"),
+            Expr::reference(ip_proto().field()),
+        ),
+        // Move the L3 tag one IPv4 header to the left; the inner header stays
+        // allocated underneath.
+        Instruction::create_tag(TAG_L3, HeaderAddr::tag_offset(TAG_L3, -IPV4_HEADER_BITS)),
+        // The transport header of the inner packet is no longer addressable:
+        // the L4 tag is re-pointed at an address where nothing is allocated,
+        // so any premature access fails the path (same effect as destroying
+        // the tag, but it also composes with nested tunnels where the tag may
+        // already have been hidden by an outer encapsulation).
+        Instruction::create_tag(TAG_L4, HeaderAddr::absolute(L4_POISON)),
+    ];
+    // Allocate and fill the outer IPv4 header.
+    for f in ipv4_fields() {
+        code.push(Instruction::allocate_header(f.addr.clone(), f.width));
+    }
+    code.extend([
+        Instruction::assign(ip_src().field(), Expr::constant(tunnel_src as u64)),
+        Instruction::assign(ip_dst().field(), Expr::constant(tunnel_dst as u64)),
+        Instruction::assign(ip_proto().field(), Expr::constant(ipproto::IPIP)),
+        // Outer length = inner length + 20 bytes.
+        Instruction::assign(
+            ip_length().field(),
+            Expr::reference(FieldRef::meta("inner-length")).plus(20),
+        ),
+        Instruction::forward(0),
+    ]);
+    ElementProgram::new(name, 1, 1).with_any_input_code(Instruction::block(code))
+}
+
+/// IP-in-IP decapsulation endpoint: checks the outer header is addressed to
+/// this endpoint, strips it and restores the layer tags.
+pub fn ipip_decap(name: &str, tunnel_dst: u32) -> ElementProgram {
+    let mut code = vec![
+        Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::IPIP)),
+        Instruction::constrain(Condition::eq(ip_dst().field(), tunnel_dst as u64)),
+    ];
+    // Deallocate the outer IPv4 header fields (checked widths).
+    for f in ipv4_fields() {
+        code.push(Instruction::deallocate_checked(
+            FieldRef::Header(f.addr.clone()),
+            f.width,
+        ));
+    }
+    code.extend([
+        // Move the L3 tag back over the inner header and restore L4.
+        Instruction::create_tag(TAG_L3, HeaderAddr::tag_offset(TAG_L3, IPV4_HEADER_BITS)),
+        Instruction::create_tag(TAG_L4, HeaderAddr::tag_offset(TAG_L3, IPV4_HEADER_BITS)),
+        Instruction::forward(0),
+    ]);
+    ElementProgram::new(name, 1, 1).with_any_input_code(Instruction::block(code))
+}
+
+/// A link/router MTU filter: drops packets whose IP total length exceeds
+/// `mtu_bytes` (the §8.4 MTU-blackhole scenario uses 1536).
+pub fn mtu_filter(name: &str, mtu_bytes: u64) -> ElementProgram {
+    ElementProgram::new(name, 1, 1).with_any_input_code(Instruction::block(vec![
+        Instruction::constrain(Condition::lt(ip_length().field(), mtu_bytes)),
+        Instruction::forward(0),
+    ]))
+}
+
+/// Encryption endpoint (§7 "Modeling Encryption"): records the key in
+/// metadata and replaces the TCP payload with a fresh, unconstrained symbolic
+/// value, so no downstream box can read the original contents.
+pub fn encrypt(name: &str, key: u64) -> ElementProgram {
+    ElementProgram::new(name, 1, 1).with_any_input_code(Instruction::block(vec![
+        Instruction::allocate_meta("Key", 64),
+        Instruction::assign(FieldRef::meta("Key"), Expr::constant(key)),
+        Instruction::allocate_header(tcp_payload().addr.clone(), tcp_payload().width),
+        Instruction::assign(tcp_payload().field(), Expr::symbolic()),
+        Instruction::forward(0),
+    ]))
+}
+
+/// Decryption endpoint: proceeds only if the key matches, then deallocates the
+/// ciphertext, which uncovers the original payload value.
+pub fn decrypt(name: &str, key: u64) -> ElementProgram {
+    ElementProgram::new(name, 1, 1).with_any_input_code(Instruction::block(vec![
+        Instruction::constrain(Condition::eq(FieldRef::meta("Key"), key)),
+        Instruction::deallocate(tcp_payload().field()),
+        Instruction::forward(0),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::engine::SymNet;
+    use symnet_core::network::Network;
+    use symnet_core::verify::{field_invariant, Tristate};
+    use symnet_core::DropReason;
+    use symnet_sefl::fields::tcp_dst;
+    use symnet_sefl::packet::symbolic_l3_tcp_packet;
+
+    #[test]
+    fn encap_then_decap_restores_transport_access() {
+        let mut net = Network::new();
+        let e = net.add_element(ipip_encap("E1", 0x0a000001, 0x0a000002));
+        let d = net.add_element(ipip_decap("D1", 0x0a000002));
+        let probe = net.add_element(
+            ElementProgram::new("probe", 1, 1).with_any_input_code(Instruction::block(vec![
+                Instruction::constrain(Condition::ge(tcp_dst().field(), 0u64)),
+                Instruction::forward(0),
+            ])),
+        );
+        net.add_link(e, 0, d, 0);
+        net.add_link(d, 0, probe, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(e, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered().count(), 1);
+        let path = report.delivered().next().unwrap();
+        // Every original header field is invariant across the tunnel (§2).
+        for field in [ip_src().field(), ip_dst().field(), tcp_dst().field()] {
+            assert_eq!(
+                field_invariant(&report.injected, path, &field),
+                Ok(Tristate::Always),
+                "{field} must be invariant across the tunnel"
+            );
+        }
+    }
+
+    #[test]
+    fn transport_fields_are_unreachable_inside_the_tunnel() {
+        // A middle box that reads TCP fields between encap and decap fails.
+        let mut net = Network::new();
+        let e = net.add_element(ipip_encap("E1", 1, 2));
+        let snoop = net.add_element(
+            ElementProgram::new("snoop", 1, 1).with_any_input_code(Instruction::block(vec![
+                Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
+                Instruction::forward(0),
+            ])),
+        );
+        net.add_link(e, 0, snoop, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(e, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered().count(), 0);
+        assert!(report.paths.iter().any(|p| matches!(
+            &p.status,
+            symnet_core::engine::PathStatus::Dropped {
+                reason: DropReason::Memory(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn decap_rejects_foreign_tunnel_destinations() {
+        let mut net = Network::new();
+        let e = net.add_element(ipip_encap("E1", 1, 2));
+        let d = net.add_element(ipip_decap("D-other", 99));
+        net.add_link(e, 0, d, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(e, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered().count(), 0);
+    }
+
+    #[test]
+    fn outer_length_constraint_propagates_through_mtu_filter() {
+        // §8.4: with IP-in-IP encapsulation in front of a 1536-byte MTU link,
+        // the inner packet must be < 1516 bytes.
+        let mut net = Network::new();
+        let e = net.add_element(ipip_encap("E1", 1, 2));
+        let m = net.add_element(mtu_filter("link", 1536));
+        let d = net.add_element(ipip_decap("D1", 2));
+        net.add_link(e, 0, m, 0);
+        net.add_link(m, 0, d, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(e, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered().count(), 1);
+        let path = report.delivered().next().unwrap();
+        let allowed =
+            symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
+        assert_eq!(allowed.max(), Some(1515));
+    }
+
+    #[test]
+    fn mtu_filter_without_tunnel_allows_up_to_1535() {
+        let mut net = Network::new();
+        let m = net.add_element(mtu_filter("link", 1536));
+        let engine = SymNet::new(net);
+        let report = engine.inject(m, 0, &symbolic_l3_tcp_packet());
+        let path = report.delivered().next().unwrap();
+        let allowed =
+            symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
+        assert_eq!(allowed.max(), Some(1535));
+    }
+
+    #[test]
+    fn encryption_hides_payload_until_matching_decryption() {
+        let mut net = Network::new();
+        let enc = net.add_element(encrypt("enc", 0xdeadbeef));
+        let dec = net.add_element(decrypt("dec", 0xdeadbeef));
+        net.add_link(enc, 0, dec, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(enc, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered().count(), 1);
+        let path = report.delivered().next().unwrap();
+        // After decryption the original payload is visible again.
+        assert_eq!(
+            field_invariant(&report.injected, path, &tcp_payload().field()),
+            Ok(Tristate::Always)
+        );
+
+        // A single encryption endpoint alone leaves the payload opaque: the
+        // delivered value is a fresh symbol unrelated to the original.
+        let mut net = Network::new();
+        let enc = net.add_element(encrypt("enc", 0xdeadbeef));
+        let engine = SymNet::new(net);
+        let report = engine.inject(enc, 0, &symbolic_l3_tcp_packet());
+        let path = report.delivered().next().unwrap();
+        assert_eq!(
+            field_invariant(&report.injected, path, &tcp_payload().field()),
+            Ok(Tristate::Sometimes)
+        );
+    }
+
+    #[test]
+    fn decryption_with_wrong_key_fails() {
+        let mut net = Network::new();
+        let enc = net.add_element(encrypt("enc", 1));
+        let dec = net.add_element(decrypt("dec", 2));
+        net.add_link(enc, 0, dec, 0);
+        let engine = SymNet::new(net);
+        let report = engine.inject(enc, 0, &symbolic_l3_tcp_packet());
+        assert_eq!(report.delivered().count(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! # symnet-parsers
+//!
+//! Parsers that turn device configuration snapshots into SEFL models (§7.1:
+//! "we have created parsers that take configuration parameters and/or runtime
+//! information from well known network elements and output corresponding SEFL
+//! models"), plus a topology-file parser that wires the generated models into
+//! a [`symnet_core::Network`].
+//!
+//! Three text formats are supported:
+//!
+//! * **MAC tables** — one `MAC VLAN PORT` entry per line (VLAN `-` for none),
+//!   as produced by `show mac address-table` post-processing;
+//! * **Router FIBs** — one `PREFIX/LEN PORT` entry per line;
+//! * **Topology files** — `element` declarations followed by `link` lines:
+//!   ```text
+//!   switch  sw1   sw1.mac
+//!   router  r1    r1.fib
+//!   link    sw1 0 -> r1 0
+//!   ```
+//!
+//! The heavy-weight dataset *generators* used by the benchmarks (synthetic MAC
+//! tables and FIBs) live on [`symnet_models::MacTable::synthetic`] and
+//! [`symnet_models::Fib::synthetic`]; this crate adds a seeded random-topology
+//! generator for stress tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use symnet_core::network::Network;
+use symnet_models::{switch::switch_egress, router::router_egress, Fib, MacTable};
+use symnet_sefl::{ip_to_number, mac_to_number};
+
+/// An error produced while parsing a configuration file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a switch MAC table: one `MAC VLAN PORT` entry per line. Lines
+/// starting with `#` and blank lines are ignored; `-` means "no VLAN".
+pub fn parse_mac_table(text: &str) -> Result<MacTable, ParseError> {
+    let mut entries = Vec::new();
+    let mut max_port = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(err(i + 1, "expected: MAC VLAN PORT"));
+        }
+        let mac = mac_to_number(parts[0]).ok_or_else(|| err(i + 1, "invalid MAC address"))?;
+        let vlan = match parts[1] {
+            "-" => None,
+            v => Some(v.parse::<u64>().map_err(|_| err(i + 1, "invalid VLAN id"))?),
+        };
+        let port: usize = parts[2]
+            .parse()
+            .map_err(|_| err(i + 1, "invalid port number"))?;
+        max_port = max_port.max(port);
+        entries.push((mac, vlan, port));
+    }
+    let mut table = MacTable::new(max_port + 1);
+    for (mac, vlan, port) in entries {
+        table.add(mac, vlan, port);
+    }
+    Ok(table)
+}
+
+/// Parses a router forwarding table: one `PREFIX/LEN PORT` entry per line.
+pub fn parse_fib(text: &str) -> Result<Fib, ParseError> {
+    let mut entries = Vec::new();
+    let mut max_port = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 2 {
+            return Err(err(i + 1, "expected: PREFIX/LEN PORT"));
+        }
+        let (prefix_str, len_str) = parts[0]
+            .split_once('/')
+            .ok_or_else(|| err(i + 1, "prefix must be written as A.B.C.D/LEN"))?;
+        let prefix =
+            ip_to_number(prefix_str).ok_or_else(|| err(i + 1, "invalid IPv4 prefix"))? as u32;
+        let prefix_len: u8 = len_str
+            .parse()
+            .map_err(|_| err(i + 1, "invalid prefix length"))?;
+        if prefix_len > 32 {
+            return Err(err(i + 1, "prefix length exceeds 32"));
+        }
+        let port: usize = parts[1]
+            .parse()
+            .map_err(|_| err(i + 1, "invalid port number"))?;
+        max_port = max_port.max(port);
+        entries.push((prefix, prefix_len, port));
+    }
+    let mut fib = Fib::new(max_port + 1);
+    for (prefix, prefix_len, port) in entries {
+        fib.add(prefix, prefix_len, port);
+    }
+    Ok(fib)
+}
+
+/// A parsed topology: the network plus a name → element-id map.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// The assembled network.
+    pub network: Network,
+    /// Element ids by declared name.
+    pub elements: BTreeMap<String, symnet_core::ElementId>,
+}
+
+/// Parses a topology description. `configs` maps the configuration file names
+/// referenced by `switch`/`router` declarations to their contents (so the
+/// parser stays independent of the filesystem).
+pub fn parse_topology(
+    text: &str,
+    configs: &BTreeMap<String, String>,
+) -> Result<Topology, ParseError> {
+    let mut network = Network::new();
+    let mut elements = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "switch" | "router" if parts.len() == 3 => {
+                let name = parts[1];
+                let config = configs
+                    .get(parts[2])
+                    .ok_or_else(|| err(i + 1, format!("unknown config file {}", parts[2])))?;
+                let program = if parts[0] == "switch" {
+                    switch_egress(name, &parse_mac_table(config)?)
+                } else {
+                    router_egress(name, &parse_fib(config)?)
+                };
+                elements.insert(name.to_string(), network.add_element(program));
+            }
+            "link" if parts.len() == 6 && parts[3] == "->" => {
+                let from = *elements
+                    .get(parts[1])
+                    .ok_or_else(|| err(i + 1, format!("unknown element {}", parts[1])))?;
+                let from_port: usize = parts[2]
+                    .parse()
+                    .map_err(|_| err(i + 1, "invalid source port"))?;
+                let to = *elements
+                    .get(parts[4])
+                    .ok_or_else(|| err(i + 1, format!("unknown element {}", parts[4])))?;
+                let to_port: usize = parts[5]
+                    .parse()
+                    .map_err(|_| err(i + 1, "invalid destination port"))?;
+                network.add_link(from, from_port, to, to_port);
+            }
+            _ => return Err(err(i + 1, format!("unrecognised directive: {line}"))),
+        }
+    }
+    Ok(Topology { network, elements })
+}
+
+/// Renders a MAC table back into the text format accepted by
+/// [`parse_mac_table`] — used by the dataset generators and round-trip tests.
+pub fn format_mac_table(table: &MacTable) -> String {
+    let mut out = String::new();
+    for e in &table.entries {
+        let vlan = e.vlan.map_or("-".to_string(), |v| v.to_string());
+        out.push_str(&format!(
+            "{} {} {}\n",
+            symnet_sefl::number_to_mac(e.mac),
+            vlan,
+            e.port
+        ));
+    }
+    out
+}
+
+/// Renders a FIB back into the text format accepted by [`parse_fib`].
+pub fn format_fib(fib: &Fib) -> String {
+    let mut out = String::new();
+    for e in &fib.entries {
+        out.push_str(&format!(
+            "{}/{} {}\n",
+            symnet_sefl::number_to_ip(e.prefix as u64),
+            e.prefix_len,
+            e.port
+        ));
+    }
+    out
+}
+
+/// Generates a seeded random tree topology of egress switches (for stress and
+/// property tests): `switches` nodes, each with `entries_per_switch` MAC
+/// entries, connected in a random tree rooted at element 0.
+pub fn random_switch_tree(seed: u64, switches: usize, entries_per_switch: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut network = Network::new();
+    let mut elements = BTreeMap::new();
+    let mut ids = Vec::new();
+    for s in 0..switches {
+        let mut table = MacTable::new(4);
+        for e in 0..entries_per_switch {
+            table.add(rng.gen::<u64>() & 0xffff_ffff_ffff, None, e % 4);
+        }
+        let name = format!("sw{s}");
+        let id = network.add_element(switch_egress(&name, &table));
+        elements.insert(name, id);
+        ids.push(id);
+    }
+    for s in 1..switches {
+        let parent = ids[rng.gen_range(0..s)];
+        network.add_link(ids[s], 0, parent, 1);
+    }
+    Topology { network, elements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAC_TABLE: &str = "\
+# core switch snapshot
+00:aa:00:aa:00:01 302 0
+00:aa:00:aa:00:02 - 1
+00:aa:00:aa:00:03 304 1
+";
+
+    const FIB: &str = "\
+192.168.0.1/32 0
+10.0.0.0/8 0
+192.168.0.0/24 1
+10.10.0.1/32 1
+";
+
+    #[test]
+    fn mac_table_parses_and_round_trips() {
+        let table = parse_mac_table(MAC_TABLE).unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.port_count, 2);
+        assert_eq!(table.entries[0].vlan, Some(302));
+        assert_eq!(table.entries[1].vlan, None);
+        let round = parse_mac_table(&format_mac_table(&table)).unwrap();
+        assert_eq!(round, table);
+        assert!(parse_mac_table("garbage line").is_err());
+        assert!(parse_mac_table("zz:zz:zz:zz:zz:zz - 0").is_err());
+    }
+
+    #[test]
+    fn fib_parses_and_round_trips() {
+        let fib = parse_fib(FIB).unwrap();
+        assert_eq!(fib.len(), 4);
+        assert_eq!(fib.lookup(0x0a0a0001), Some(1));
+        let round = parse_fib(&format_fib(&fib)).unwrap();
+        assert_eq!(round, fib);
+        assert!(parse_fib("10.0.0.0/40 1").is_err());
+        assert!(parse_fib("10.0.0.0 1").is_err());
+    }
+
+    #[test]
+    fn topology_assembles_a_runnable_network() {
+        let mut configs = BTreeMap::new();
+        configs.insert("sw1.mac".to_string(), MAC_TABLE.to_string());
+        configs.insert("r1.fib".to_string(), FIB.to_string());
+        let topo_text = "\
+switch sw1 sw1.mac
+router r1 r1.fib
+link sw1 1 -> r1 0
+";
+        let topo = parse_topology(topo_text, &configs).unwrap();
+        assert_eq!(topo.network.element_count(), 2);
+        assert_eq!(topo.network.link_count(), 1);
+        // The parsed network actually runs.
+        let engine = symnet_core::engine::SymNet::new(topo.network.clone());
+        let report = engine.inject(
+            topo.elements["sw1"],
+            0,
+            &symnet_sefl::packet::symbolic_tcp_packet(),
+        );
+        assert!(report.delivered().count() >= 1);
+        // Errors: unknown config, unknown element, bad directive.
+        assert!(parse_topology("switch s missing.mac", &configs).is_err());
+        assert!(parse_topology("link a 0 -> b 0", &configs).is_err());
+        assert!(parse_topology("frobnicate", &configs).is_err());
+    }
+
+    #[test]
+    fn random_topologies_are_seed_deterministic() {
+        let a = random_switch_tree(42, 6, 10);
+        let b = random_switch_tree(42, 6, 10);
+        assert_eq!(a.network.element_count(), b.network.element_count());
+        assert_eq!(a.network.link_count(), b.network.link_count());
+        assert_eq!(a.network.link_count(), 5);
+    }
+}

@@ -1,0 +1,256 @@
+//! The standard packet layout used by SymNet models (Figure 6 of the paper).
+//!
+//! Packets mimic the physical layout of real packets: every header field has a
+//! bit offset relative to a layer tag (`L2`, `L3`, `L4`), and the layer tags
+//! are created as the packet is built or encapsulated. The shorthands below
+//! are the ones the paper uses in its examples — e.g. `IpSrc` is
+//! `Tag("L3") + 96` and is 32 bits wide.
+
+use crate::field::{FieldRef, HeaderAddr};
+
+/// Name of the tag marking the start of the original packet.
+pub const TAG_START: &str = "Start";
+/// Name of the tag marking the end of the packet.
+pub const TAG_END: &str = "End";
+/// Name of the layer-2 (Ethernet) tag.
+pub const TAG_L2: &str = "L2";
+/// Name of the layer-3 (IP) tag.
+pub const TAG_L3: &str = "L3";
+/// Name of the layer-4 (TCP/UDP) tag.
+pub const TAG_L4: &str = "L4";
+
+/// Size of an Ethernet header in bits (dst 48 + src 48 + ethertype 16).
+pub const ETHERNET_HEADER_BITS: i64 = 112;
+/// Size of an 802.1Q VLAN tag in bits (TPID 16 + TCI 16).
+pub const VLAN_TAG_BITS: i64 = 32;
+/// Size of an IPv4 header without options in bits.
+pub const IPV4_HEADER_BITS: i64 = 160;
+/// Size of a TCP header without options in bits.
+pub const TCP_HEADER_BITS: i64 = 160;
+/// Size of a UDP header in bits.
+pub const UDP_HEADER_BITS: i64 = 64;
+
+/// A named header field: its tag-relative address and bit width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeaderField {
+    /// Human-readable shorthand, e.g. `"IpSrc"`.
+    pub name: &'static str,
+    /// Address of the field.
+    pub addr: HeaderAddr,
+    /// Width in bits.
+    pub width: u16,
+}
+
+impl HeaderField {
+    fn new(name: &'static str, tag: &str, offset: i64, width: u16) -> Self {
+        HeaderField {
+            name,
+            addr: HeaderAddr::tag_offset(tag, offset),
+            width,
+        }
+    }
+
+    /// The field as a [`FieldRef`] usable in instructions.
+    pub fn field(&self) -> FieldRef {
+        FieldRef::Header(self.addr.clone())
+    }
+}
+
+macro_rules! field_fns {
+    ($( $(#[$doc:meta])* $fn_name:ident, $name:literal, $tag:expr, $offset:expr, $width:expr; )*) => {
+        $(
+            $(#[$doc])*
+            pub fn $fn_name() -> HeaderField {
+                HeaderField::new($name, $tag, $offset, $width)
+            }
+        )*
+    };
+}
+
+field_fns! {
+    /// Ethernet destination MAC address (`Tag("L2") + 0`, 48 bits).
+    ether_dst, "EtherDst", TAG_L2, 0, 48;
+    /// Ethernet source MAC address (`Tag("L2") + 48`, 48 bits).
+    ether_src, "EtherSrc", TAG_L2, 48, 48;
+    /// EtherType (`Tag("L2") + 96`, 16 bits).
+    ether_type, "EtherType", TAG_L2, 96, 16;
+    /// 802.1Q VLAN identifier, allocated only on tagged frames. Modeled as a
+    /// 16-bit field just in front of the Ethernet header (`Tag("L2") - 16`) so
+    /// that tagging never collides with the IP header that follows the frame;
+    /// the TPID is folded into EtherType.
+    vlan_id, "VlanId", TAG_L2, -16, 16;
+    /// IPv4 version and IHL byte (`Tag("L3") + 0`, 8 bits).
+    ip_version_ihl, "IpVersionIhl", TAG_L3, 0, 8;
+    /// IPv4 type-of-service byte (`Tag("L3") + 8`, 8 bits).
+    ip_tos, "IpTos", TAG_L3, 8, 8;
+    /// IPv4 total length (`Tag("L3") + 16`, 16 bits).
+    ip_length, "IpLength", TAG_L3, 16, 16;
+    /// IPv4 identification (`Tag("L3") + 32`, 16 bits).
+    ip_id, "IpId", TAG_L3, 32, 16;
+    /// IPv4 flags and fragment offset (`Tag("L3") + 48`, 16 bits).
+    ip_flags_frag, "IpFlagsFrag", TAG_L3, 48, 16;
+    /// IPv4 time-to-live (`Tag("L3") + 64`, 8 bits).
+    ip_ttl, "IpTtl", TAG_L3, 64, 8;
+    /// IPv4 protocol number (`Tag("L3") + 72`, 8 bits).
+    ip_proto, "IpProto", TAG_L3, 72, 8;
+    /// IPv4 header checksum (`Tag("L3") + 80`, 16 bits).
+    ip_checksum, "IpChecksum", TAG_L3, 80, 16;
+    /// IPv4 source address (`Tag("L3") + 96`, 32 bits) — the paper's `IpSrc`.
+    ip_src, "IpSrc", TAG_L3, 96, 32;
+    /// IPv4 destination address (`Tag("L3") + 128`, 32 bits) — the paper's `IpDst`.
+    ip_dst, "IpDst", TAG_L3, 128, 32;
+    /// TCP source port (`Tag("L4") + 0`, 16 bits).
+    tcp_src, "TcpSrc", TAG_L4, 0, 16;
+    /// TCP destination port (`Tag("L4") + 16`, 16 bits).
+    tcp_dst, "TcpDst", TAG_L4, 16, 16;
+    /// TCP sequence number (`Tag("L4") + 32`, 32 bits).
+    tcp_seq, "TcpSeq", TAG_L4, 32, 32;
+    /// TCP acknowledgement number (`Tag("L4") + 64`, 32 bits).
+    tcp_ack, "TcpAck", TAG_L4, 64, 32;
+    /// TCP data offset, reserved bits and flags (`Tag("L4") + 96`, 16 bits).
+    tcp_flags, "TcpFlags", TAG_L4, 96, 16;
+    /// TCP window size (`Tag("L4") + 112`, 16 bits).
+    tcp_window, "TcpWindow", TAG_L4, 112, 16;
+    /// TCP checksum (`Tag("L4") + 128`, 16 bits).
+    tcp_checksum, "TcpChecksum", TAG_L4, 128, 16;
+    /// TCP urgent pointer (`Tag("L4") + 144`, 16 bits).
+    tcp_urgent, "TcpUrgent", TAG_L4, 144, 16;
+    /// Abstract TCP payload handle (`Tag("L4") + 160`, 64 bits). The payload is
+    /// modeled as a single opaque value: encryption replaces it with a fresh
+    /// symbol, decryption restores the original (§7 "Modeling Encryption").
+    tcp_payload, "TcpPayload", TAG_L4, 160, 64;
+    /// UDP source port (`Tag("L4") + 0`, 16 bits).
+    udp_src, "UdpSrc", TAG_L4, 0, 16;
+    /// UDP destination port (`Tag("L4") + 16`, 16 bits).
+    udp_dst, "UdpDst", TAG_L4, 16, 16;
+    /// UDP length (`Tag("L4") + 32`, 16 bits).
+    udp_length, "UdpLength", TAG_L4, 32, 16;
+    /// UDP checksum (`Tag("L4") + 48`, 16 bits).
+    udp_checksum, "UdpChecksum", TAG_L4, 48, 16;
+}
+
+/// The Ethernet header fields in layout order.
+pub fn ethernet_fields() -> Vec<HeaderField> {
+    vec![ether_dst(), ether_src(), ether_type()]
+}
+
+/// The IPv4 header fields in layout order.
+pub fn ipv4_fields() -> Vec<HeaderField> {
+    vec![
+        ip_version_ihl(),
+        ip_tos(),
+        ip_length(),
+        ip_id(),
+        ip_flags_frag(),
+        ip_ttl(),
+        ip_proto(),
+        ip_checksum(),
+        ip_src(),
+        ip_dst(),
+    ]
+}
+
+/// The TCP header fields in layout order (payload handle included).
+pub fn tcp_fields() -> Vec<HeaderField> {
+    vec![
+        tcp_src(),
+        tcp_dst(),
+        tcp_seq(),
+        tcp_ack(),
+        tcp_flags(),
+        tcp_window(),
+        tcp_checksum(),
+        tcp_urgent(),
+        tcp_payload(),
+    ]
+}
+
+/// The UDP header fields in layout order.
+pub fn udp_fields() -> Vec<HeaderField> {
+    vec![udp_src(), udp_dst(), udp_length(), udp_checksum()]
+}
+
+/// Well-known EtherType values used by the models.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u64 = 0x0800;
+    /// 802.1Q VLAN-tagged frame.
+    pub const VLAN: u64 = 0x8100;
+    /// ARP.
+    pub const ARP: u64 = 0x0806;
+}
+
+/// Well-known IP protocol numbers used by the models.
+pub mod ipproto {
+    /// ICMP.
+    pub const ICMP: u64 = 1;
+    /// IP-in-IP encapsulation.
+    pub const IPIP: u64 = 4;
+    /// TCP.
+    pub const TCP: u64 = 6;
+    /// UDP.
+    pub const UDP: u64 = 17;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_src_matches_paper_shorthand() {
+        // The paper writes: Allocate(Tag("L3")+96,32) //IP src
+        let f = ip_src();
+        assert_eq!(f.addr, HeaderAddr::tag_offset("L3", 96));
+        assert_eq!(f.width, 32);
+        assert_eq!(f.name, "IpSrc");
+    }
+
+    #[test]
+    fn layer_sizes_are_consistent_with_field_layout() {
+        // The last Ethernet field ends exactly at the Ethernet header size.
+        let et = ether_type();
+        match et.addr {
+            HeaderAddr::TagOffset { offset, .. } => {
+                assert_eq!(offset + et.width as i64, ETHERNET_HEADER_BITS)
+            }
+            _ => panic!("tag-relative expected"),
+        }
+        // The last IPv4 field ends exactly at the IPv4 header size.
+        let dst = ip_dst();
+        match dst.addr {
+            HeaderAddr::TagOffset { offset, .. } => {
+                assert_eq!(offset + dst.width as i64, IPV4_HEADER_BITS)
+            }
+            _ => panic!("tag-relative expected"),
+        }
+        // The TCP fixed header is 160 bits; the payload handle sits after it.
+        let urg = tcp_urgent();
+        match urg.addr {
+            HeaderAddr::TagOffset { offset, .. } => {
+                assert_eq!(offset + urg.width as i64, TCP_HEADER_BITS)
+            }
+            _ => panic!("tag-relative expected"),
+        }
+    }
+
+    #[test]
+    fn field_lists_are_ordered_and_disjoint() {
+        for list in [ethernet_fields(), ipv4_fields(), tcp_fields(), udp_fields()] {
+            let mut last_end = i64::MIN;
+            for f in &list {
+                let HeaderAddr::TagOffset { offset, .. } = f.addr else {
+                    panic!("all standard fields are tag-relative");
+                };
+                assert!(offset >= last_end, "field {} overlaps previous", f.name);
+                last_end = offset + f.width as i64;
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_constants() {
+        assert_eq!(ethertype::IPV4, 0x0800);
+        assert_eq!(ipproto::TCP, 6);
+        assert_eq!(ipproto::UDP, 17);
+    }
+}

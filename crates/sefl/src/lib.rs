@@ -1,0 +1,135 @@
+//! # symnet-sefl
+//!
+//! SEFL — the *Symbolic Execution Friendly Language* from the SymNet paper
+//! (§3–§4). SEFL is a small imperative language for modeling network boxes
+//! whose design goal is that symbolically executing a box's model produces at
+//! most as many execution paths as the box has outgoing links.
+//!
+//! This crate defines the language itself:
+//!
+//! * [`expr::Expr`] — the expression language (constants, field references,
+//!   addition, subtraction, negation, fresh symbolic values),
+//! * [`cond::Condition`] — boolean conditions over fields (comparisons, prefix
+//!   matches, and/or/not),
+//! * [`field::FieldRef`] / [`field::HeaderAddr`] — how programs name packet
+//!   header locations (absolute bit offsets or tag-relative offsets) and
+//!   metadata entries (string keys in the built-in map),
+//! * [`instr::Instruction`] — the full instruction set of Table 2 of the
+//!   paper (`Allocate`, `Deallocate`, `Assign`, `CreateTag`, `DestroyTag`,
+//!   `Constrain`, `Fail`, `If`, `For`, `Forward`, `Fork`, `InstructionBlock`,
+//!   `NoOp`),
+//! * [`fields`] — the standard header layout of Figure 6 (Ethernet / IPv4 /
+//!   TCP / UDP shorthands such as `IpSrc = Tag("L3") + 96`),
+//! * [`packet`] — helper instruction blocks that build symbolic TCP/IP/Ethernet
+//!   packets the way SymNet's injection step does,
+//! * [`program::ElementProgram`] — a network element model: a set of input and
+//!   output ports, each with an associated instruction block.
+//!
+//! The symbolic execution engine that runs SEFL programs lives in
+//! `symnet-core`; ready-made models of switches, routers, NATs, firewalls and
+//! Click elements live in `symnet-models`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cond;
+pub mod expr;
+pub mod field;
+pub mod fields;
+pub mod instr;
+pub mod packet;
+pub mod program;
+
+pub use cond::{Condition, RelOp};
+pub use expr::Expr;
+pub use field::{FieldRef, HeaderAddr, Visibility};
+pub use instr::Instruction;
+pub use program::{ElementProgram, PortId, PortKind};
+
+/// Parses a dotted-quad IPv4 address into its 32-bit numeric value, the
+/// equivalent of the paper's `ipToNumber("192.168.1.1")` helper.
+pub fn ip_to_number(ip: &str) -> Option<u64> {
+    let mut parts = ip.split('.');
+    let mut out: u64 = 0;
+    for _ in 0..4 {
+        let octet: u64 = parts.next()?.trim().parse().ok()?;
+        if octet > 255 {
+            return None;
+        }
+        out = (out << 8) | octet;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Parses a colon-separated MAC address (`aa:bb:cc:dd:ee:ff`) into its 48-bit
+/// numeric value.
+pub fn mac_to_number(mac: &str) -> Option<u64> {
+    let mut parts = mac.split(|c| c == ':' || c == '-');
+    let mut out: u64 = 0;
+    for _ in 0..6 {
+        let byte = u64::from_str_radix(parts.next()?.trim(), 16).ok()?;
+        if byte > 255 {
+            return None;
+        }
+        out = (out << 8) | byte;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Formats a 32-bit value as a dotted-quad IPv4 address.
+pub fn number_to_ip(value: u64) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (value >> 24) & 0xff,
+        (value >> 16) & 0xff,
+        (value >> 8) & 0xff,
+        value & 0xff
+    )
+}
+
+/// Formats a 48-bit value as a colon-separated MAC address.
+pub fn number_to_mac(value: u64) -> String {
+    format!(
+        "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+        (value >> 40) & 0xff,
+        (value >> 32) & 0xff,
+        (value >> 24) & 0xff,
+        (value >> 16) & 0xff,
+        (value >> 8) & 0xff,
+        value & 0xff
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_round_trip() {
+        assert_eq!(ip_to_number("192.168.1.1"), Some(0xc0a80101));
+        assert_eq!(ip_to_number("8.8.8.8"), Some(0x08080808));
+        assert_eq!(ip_to_number("0.0.0.0"), Some(0));
+        assert_eq!(ip_to_number("255.255.255.255"), Some(0xffffffff));
+        assert_eq!(number_to_ip(0xc0a80101), "192.168.1.1");
+        assert_eq!(ip_to_number("256.0.0.1"), None);
+        assert_eq!(ip_to_number("1.2.3"), None);
+        assert_eq!(ip_to_number("1.2.3.4.5"), None);
+        assert_eq!(ip_to_number("not an ip"), None);
+    }
+
+    #[test]
+    fn mac_round_trip() {
+        assert_eq!(mac_to_number("00:aa:00:aa:00:aa"), Some(0x00aa00aa00aa));
+        assert_eq!(mac_to_number("ff:ff:ff:ff:ff:ff"), Some(0xffffffffffff));
+        assert_eq!(number_to_mac(0x00aa00aa00aa), "00:aa:00:aa:00:aa");
+        assert_eq!(mac_to_number("00-aa-00-aa-00-aa"), Some(0x00aa00aa00aa));
+        assert_eq!(mac_to_number("zz:aa:00:aa:00:aa"), None);
+        assert_eq!(mac_to_number("00:aa:00:aa:00"), None);
+    }
+}

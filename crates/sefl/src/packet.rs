@@ -1,0 +1,250 @@
+//! Instruction blocks that build symbolic packets.
+//!
+//! SymNet "starts execution by creating an initial empty packet, with no
+//! header fields or metadata, and then executes code to create a symbolic
+//! packet of the given type (e.g. TCP)" (§5). The builders here produce those
+//! construction blocks: they create the layer tags of Figure 6 and allocate
+//! every header field with a fresh symbolic value, which callers can then
+//! specialise with extra `Constrain` or `Assign` instructions.
+
+use crate::expr::Expr;
+use crate::field::HeaderAddr;
+use crate::fields::{
+    self, ethernet_fields, ipv4_fields, tcp_fields, udp_fields, ETHERNET_HEADER_BITS,
+    IPV4_HEADER_BITS, TAG_END, TAG_L2, TAG_L3, TAG_L4, TAG_START, TCP_HEADER_BITS,
+};
+use crate::instr::Instruction;
+
+/// Builder for symbolic packet construction blocks.
+#[derive(Clone, Debug, Default)]
+pub struct PacketBuilder {
+    instructions: Vec<Instruction>,
+    end_offset: i64,
+}
+
+impl PacketBuilder {
+    /// Starts a new packet: creates the `Start` tag at address 0.
+    pub fn new() -> Self {
+        PacketBuilder {
+            instructions: vec![Instruction::create_tag(TAG_START, HeaderAddr::absolute(0))],
+            end_offset: 0,
+        }
+    }
+
+    /// Adds an Ethernet header with symbolic addresses and the given EtherType
+    /// (symbolic if `None`).
+    pub fn ethernet(mut self, ether_type: Option<u64>) -> Self {
+        self.instructions
+            .push(Instruction::create_tag(TAG_L2, HeaderAddr::tag(TAG_START)));
+        for f in ethernet_fields() {
+            self.instructions
+                .push(Instruction::allocate_header(f.addr.clone(), f.width));
+            let value = if f.name == "EtherType" {
+                match ether_type {
+                    Some(v) => Expr::constant(v),
+                    None => Expr::symbolic(),
+                }
+            } else {
+                Expr::symbolic()
+            };
+            self.instructions.push(Instruction::assign(f.field(), value));
+        }
+        self.end_offset = self.end_offset.max(ETHERNET_HEADER_BITS);
+        self
+    }
+
+    /// Adds an IPv4 header (after Ethernet if present) with every field
+    /// symbolic except the protocol, which is set if given.
+    pub fn ipv4(mut self, protocol: Option<u64>) -> Self {
+        let l3_addr = if self.has_tag(TAG_L2) {
+            HeaderAddr::tag_offset(TAG_L2, ETHERNET_HEADER_BITS)
+        } else {
+            HeaderAddr::tag(TAG_START)
+        };
+        self.instructions
+            .push(Instruction::create_tag(TAG_L3, l3_addr));
+        for f in ipv4_fields() {
+            self.instructions
+                .push(Instruction::allocate_header(f.addr.clone(), f.width));
+            let value = if f.name == "IpProto" {
+                match protocol {
+                    Some(v) => Expr::constant(v),
+                    None => Expr::symbolic(),
+                }
+            } else {
+                Expr::symbolic()
+            };
+            self.instructions.push(Instruction::assign(f.field(), value));
+        }
+        self.end_offset += IPV4_HEADER_BITS;
+        self
+    }
+
+    /// Adds a TCP header with all fields symbolic.
+    pub fn tcp(mut self) -> Self {
+        self.instructions.push(Instruction::create_tag(
+            TAG_L4,
+            HeaderAddr::tag_offset(TAG_L3, IPV4_HEADER_BITS),
+        ));
+        for f in tcp_fields() {
+            self.instructions
+                .push(Instruction::allocate_header(f.addr.clone(), f.width));
+            self.instructions
+                .push(Instruction::assign(f.field(), Expr::symbolic()));
+        }
+        self.end_offset += TCP_HEADER_BITS;
+        self
+    }
+
+    /// Adds a UDP header with all fields symbolic.
+    pub fn udp(mut self) -> Self {
+        self.instructions.push(Instruction::create_tag(
+            TAG_L4,
+            HeaderAddr::tag_offset(TAG_L3, IPV4_HEADER_BITS),
+        ));
+        for f in udp_fields() {
+            self.instructions
+                .push(Instruction::allocate_header(f.addr.clone(), f.width));
+            self.instructions
+                .push(Instruction::assign(f.field(), Expr::symbolic()));
+        }
+        self.end_offset += fields::UDP_HEADER_BITS;
+        self
+    }
+
+    /// Appends an arbitrary instruction (e.g. a `Constrain` specialising the
+    /// packet).
+    pub fn with(mut self, instruction: Instruction) -> Self {
+        self.instructions.push(instruction);
+        self
+    }
+
+    /// Finishes the packet: creates the `End` tag after the last added layer
+    /// and returns the construction block.
+    pub fn build(mut self) -> Instruction {
+        self.instructions.push(Instruction::create_tag(
+            TAG_END,
+            HeaderAddr::absolute(self.end_offset),
+        ));
+        Instruction::block(self.instructions)
+    }
+
+    fn has_tag(&self, tag: &str) -> bool {
+        self.instructions.iter().any(|i| match i {
+            Instruction::CreateTag { name, .. } => name == tag,
+            _ => false,
+        })
+    }
+}
+
+/// A fully symbolic Ethernet + IPv4 + TCP packet — the packet SymNet injects
+/// for most of the paper's experiments.
+pub fn symbolic_tcp_packet() -> Instruction {
+    PacketBuilder::new()
+        .ethernet(Some(fields::ethertype::IPV4))
+        .ipv4(Some(fields::ipproto::TCP))
+        .tcp()
+        .build()
+}
+
+/// A fully symbolic Ethernet + IPv4 + UDP packet.
+pub fn symbolic_udp_packet() -> Instruction {
+    PacketBuilder::new()
+        .ethernet(Some(fields::ethertype::IPV4))
+        .ipv4(Some(fields::ipproto::UDP))
+        .udp()
+        .build()
+}
+
+/// A fully symbolic Ethernet + IPv4 packet with a symbolic protocol field
+/// ("purely symbolic packet" in §8.5).
+pub fn symbolic_ip_packet() -> Instruction {
+    PacketBuilder::new()
+        .ethernet(Some(fields::ethertype::IPV4))
+        .ipv4(None)
+        .build()
+}
+
+/// A symbolic IPv4 + TCP packet without an Ethernet header (used when the
+/// injection point is a layer-3 port, e.g. the router experiments of §8.1).
+pub fn symbolic_l3_tcp_packet() -> Instruction {
+    PacketBuilder::new()
+        .ipv4(Some(fields::ipproto::TCP))
+        .tcp()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldRef;
+
+    fn count_kind(instr: &Instruction, pred: &dyn Fn(&Instruction) -> bool) -> usize {
+        match instr {
+            Instruction::Block(instrs) => instrs.iter().map(|i| count_kind(i, pred)).sum(),
+            other => usize::from(pred(other)),
+        }
+    }
+
+    #[test]
+    fn tcp_packet_creates_all_layer_tags() {
+        let pkt = symbolic_tcp_packet();
+        let tags = count_kind(&pkt, &|i| matches!(i, Instruction::CreateTag { .. }));
+        // Start, L2, L3, L4, End.
+        assert_eq!(tags, 5);
+    }
+
+    #[test]
+    fn tcp_packet_allocates_every_field_before_assigning() {
+        let pkt = symbolic_tcp_packet();
+        let Instruction::Block(instrs) = &pkt else {
+            panic!("expected a block")
+        };
+        let mut allocated: Vec<FieldRef> = Vec::new();
+        for i in instrs {
+            match i {
+                Instruction::Allocate { field, .. } => allocated.push(field.clone()),
+                Instruction::Assign { field, .. } => {
+                    assert!(allocated.contains(field), "assign before allocate: {field}")
+                }
+                _ => {}
+            }
+        }
+        // 3 Ethernet + 10 IPv4 + 9 TCP fields.
+        assert_eq!(allocated.len(), 22);
+    }
+
+    #[test]
+    fn ip_packet_has_no_l4_tag() {
+        let pkt = symbolic_ip_packet();
+        let l4_tags = count_kind(&pkt, &|i| {
+            matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L4)
+        });
+        assert_eq!(l4_tags, 0);
+    }
+
+    #[test]
+    fn l3_packet_skips_ethernet() {
+        let pkt = symbolic_l3_tcp_packet();
+        let l2_tags = count_kind(&pkt, &|i| {
+            matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L2)
+        });
+        assert_eq!(l2_tags, 0);
+        let l3_tags = count_kind(&pkt, &|i| {
+            matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L3)
+        });
+        assert_eq!(l3_tags, 1);
+    }
+
+    #[test]
+    fn packet_construction_never_branches() {
+        for pkt in [
+            symbolic_tcp_packet(),
+            symbolic_udp_packet(),
+            symbolic_ip_packet(),
+            symbolic_l3_tcp_packet(),
+        ] {
+            assert_eq!(pkt.max_branching(), 1);
+        }
+    }
+}

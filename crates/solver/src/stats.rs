@@ -1,0 +1,98 @@
+//! Solver instrumentation.
+//!
+//! §8.1 of the paper reports that "more than 90% of time is spent in Z3" and
+//! measures the number of solver calls per experiment; [`SolverStats`] records
+//! the equivalent counters for this solver so the benchmark harness can report
+//! the same breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters accumulated by a [`crate::Solver`] across queries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of satisfiability queries issued.
+    pub calls: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries answered `Unknown` (cube budget exceeded).
+    pub unknown: u64,
+    /// Total number of cubes examined.
+    pub cubes_examined: u64,
+    /// Cumulative wall-clock time spent inside the solver.
+    #[serde(with = "duration_micros")]
+    pub time_in_solver: Duration,
+}
+
+impl SolverStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = SolverStats::default();
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.calls += other.calls;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.cubes_examined += other.cubes_examined;
+        self.time_in_solver += other.time_in_solver;
+    }
+}
+
+mod duration_micros {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_micros(u64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = SolverStats {
+            calls: 2,
+            sat: 1,
+            unsat: 1,
+            unknown: 0,
+            cubes_examined: 5,
+            time_in_solver: Duration::from_millis(10),
+        };
+        let b = SolverStats {
+            calls: 3,
+            sat: 2,
+            unsat: 0,
+            unknown: 1,
+            cubes_examined: 7,
+            time_in_solver: Duration::from_millis(5),
+        };
+        a.merge(&b);
+        assert_eq!(a.calls, 5);
+        assert_eq!(a.sat, 3);
+        assert_eq!(a.unsat, 1);
+        assert_eq!(a.unknown, 1);
+        assert_eq!(a.cubes_examined, 12);
+        assert_eq!(a.time_in_solver, Duration::from_millis(15));
+        a.reset();
+        assert_eq!(a, SolverStats::default());
+    }
+
+    #[test]
+    fn default_stats_are_zero() {
+        let s = SolverStats::default();
+        assert_eq!(s.calls, 0);
+        assert_eq!(s.time_in_solver, Duration::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the solver's core data structures and the
+//! soundness of its satisfiability answers.
+
+use proptest::prelude::*;
+use symnet_solver::{CmpOp, Formula, IntervalSet, Solver, SymVar};
+
+/// Strategy producing small interval sets inside a bounded universe.
+fn interval_set(universe: i128) -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec((0..universe, 0..universe), 0..8).prop_map(|pairs| {
+        IntervalSet::from_ranges(pairs.into_iter().map(|(a, b)| (a.min(b), a.max(b))))
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both_operands(a in interval_set(1000), b in interval_set(1000), x in 0i128..1000) {
+        let u = a.union(&b);
+        prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x));
+    }
+
+    #[test]
+    fn intersection_is_conjunction(a in interval_set(1000), b in interval_set(1000), x in 0i128..1000) {
+        let i = a.intersect(&b);
+        prop_assert_eq!(i.contains(x), a.contains(x) && b.contains(x));
+    }
+
+    #[test]
+    fn complement_flips_membership(a in interval_set(1000), x in 0i128..1000) {
+        let c = a.complement(0, 999);
+        prop_assert_eq!(c.contains(x), !a.contains(x));
+    }
+
+    #[test]
+    fn difference_removes_exactly(a in interval_set(1000), b in interval_set(1000), x in 0i128..1000) {
+        let d = a.difference(&b);
+        prop_assert_eq!(d.contains(x), a.contains(x) && !b.contains(x));
+    }
+
+    #[test]
+    fn shift_translates_membership(a in interval_set(1000), delta in -500i128..500, x in 0i128..1000) {
+        let s = a.shift(delta);
+        prop_assert_eq!(s.contains(x + delta), a.contains(x));
+    }
+
+    #[test]
+    fn cardinality_matches_membership_count(a in interval_set(200)) {
+        let count = (0i128..200).filter(|x| a.contains(*x)).count() as u128;
+        prop_assert_eq!(a.cardinality(), count);
+    }
+
+    /// Every `Sat` answer must come with a model that actually satisfies the
+    /// formula (the solver re-checks witnesses, so this must always hold).
+    #[test]
+    fn sat_answers_carry_valid_models(
+        ops in prop::collection::vec((0usize..6, 0u64..4, 0u64..256), 1..6),
+    ) {
+        let mut solver = Solver::default();
+        let parts: Vec<Formula> = ops
+            .iter()
+            .map(|(op, var, value)| {
+                let v = SymVar::new(*var, 8);
+                let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][*op];
+                Formula::cmp_const(op, v, *value)
+            })
+            .collect();
+        let f = Formula::and(parts);
+        if let Some(model) = solver.model(&f) {
+            prop_assert!(model.satisfies(&f));
+        }
+    }
+
+    /// Brute-force cross-check on 8-bit single-variable formulas: the solver's
+    /// sat/unsat answer must agree with exhaustive enumeration.
+    #[test]
+    fn single_var_agrees_with_bruteforce(
+        ops in prop::collection::vec((0usize..6, 0u64..256, prop::bool::ANY), 1..8),
+    ) {
+        let v = SymVar::new(0, 8);
+        let atoms: Vec<Formula> = ops
+            .iter()
+            .map(|(op, value, _)| {
+                let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][*op];
+                Formula::cmp_const(op, v, *value)
+            })
+            .collect();
+        // Alternate and/or nesting driven by the boolean flags.
+        let mut f = atoms[0].clone();
+        for (atom, (_, _, use_or)) in atoms.iter().skip(1).zip(ops.iter().skip(1)) {
+            f = if *use_or {
+                Formula::or(vec![f, atom.clone()])
+            } else {
+                Formula::and(vec![f, atom.clone()])
+            };
+        }
+        let brute = (0u64..256).any(|x| f.eval(&|_| Some(x)) == Some(true));
+        let mut solver = Solver::default();
+        let result = solver.check(&f);
+        prop_assert_eq!(result.is_sat(), brute);
+        prop_assert_eq!(result.is_unsat(), !brute);
+    }
+
+    /// Two-variable conjunctions of constant comparisons and one cross
+    /// equality, cross-checked by brute force over 6-bit domains.
+    #[test]
+    fn cross_equality_agrees_with_bruteforce(
+        xa in 0u64..64, xb in 0u64..64, offset in -8i128..8,
+    ) {
+        use symnet_solver::Term;
+        let x = SymVar::new(0, 6);
+        let y = SymVar::new(1, 6);
+        let f = Formula::and(vec![
+            Formula::cmp_const(CmpOp::Ge, x, xa),
+            Formula::cmp_const(CmpOp::Le, y, xb),
+            Formula::cmp(CmpOp::Eq, Term::var(y), Term::var(x).plus(offset)),
+        ]);
+        let brute = (0u64..64).any(|xv| {
+            (0u64..64).any(|yv| {
+                f.eval(&|id| if id.0 == 0 { Some(xv) } else { Some(yv) }) == Some(true)
+            })
+        });
+        let mut solver = Solver::default();
+        prop_assert_eq!(solver.check(&f).is_sat(), brute);
+    }
+}

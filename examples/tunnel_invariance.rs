@@ -1,0 +1,41 @@
+//! The §2 motivating example: are packet contents invariant across a chain of
+//! IP-in-IP tunnels?  Header Space Analysis cannot answer this (a wildcard
+//! output says nothing about equality with the input); symbolic execution
+//! answers it directly, because an untouched field still holds the very same
+//! symbolic value when it leaves the tunnel.
+//!
+//! ```text
+//! cargo run --example tunnel_invariance
+//! ```
+
+use symnet_suite::core::engine::SymNet;
+use symnet_suite::core::verify::{field_invariant, Tristate};
+use symnet_suite::models::scenarios::tunnel_chain;
+use symnet_suite::sefl::fields::{ip_dst, ip_src, tcp_dst, tcp_payload};
+use symnet_suite::sefl::packet::symbolic_l3_tcp_packet;
+
+fn main() {
+    // A → E1 → E2 → D2 → D1 → B with two nested IP-in-IP tunnels.
+    let (network, a, b) = tunnel_chain();
+    let engine = SymNet::new(network);
+    let report = engine.inject(a, 0, &symbolic_l3_tcp_packet());
+
+    println!("paths explored: {}", report.path_count());
+    let delivered: Vec<_> = report.delivered_at(b, 0).collect();
+    println!("paths delivered to B: {}", delivered.len());
+
+    for path in &delivered {
+        println!("\npath via {:?}", path.ports_visited());
+        for field in [
+            ("IpSrc", ip_src().field()),
+            ("IpDst", ip_dst().field()),
+            ("TcpDst", tcp_dst().field()),
+            ("TcpPayload", tcp_payload().field()),
+        ] {
+            let verdict = field_invariant(&report.injected, path, &field.1).unwrap();
+            println!("  {:<10} invariant across the tunnel chain: {:?}", field.0, verdict);
+            assert_eq!(verdict, Tristate::Always, "{} must be invariant", field.0);
+        }
+    }
+    println!("\nAll original header fields provably survive the double tunnel.");
+}

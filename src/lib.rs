@@ -1,0 +1,14 @@
+//! `symnet-suite` — umbrella package for the SymNet reproduction workspace.
+//!
+//! This crate only re-exports the workspace crates so that the repository-level
+//! integration tests (`tests/`) and examples (`examples/`) have a single
+//! dependency root. See `DESIGN.md` for the crate inventory.
+
+pub use symnet_core as core;
+pub use symnet_hsa as hsa;
+pub use symnet_klee as klee;
+pub use symnet_models as models;
+pub use symnet_parsers as parsers;
+pub use symnet_sefl as sefl;
+pub use symnet_solver as solver;
+pub use symnet_testgen as testgen;
