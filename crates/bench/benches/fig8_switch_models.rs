@@ -8,11 +8,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &entries in &[440usize, 2_000, 10_000] {
         for model in ["ingress", "egress"] {
-            group.bench_with_input(
-                BenchmarkId::new(model, entries),
-                &entries,
-                |b, &entries| b.iter(|| measure_switch(model, entries, 20).paths),
-            );
+            group.bench_with_input(BenchmarkId::new(model, entries), &entries, |b, &entries| {
+                b.iter(|| measure_switch(model, entries, 20).paths)
+            });
         }
     }
     // The basic model is only benchable at small sizes (DNF in the paper).

@@ -1,6 +1,8 @@
-//! Criterion bench behind the §8.5 department-network verification runs.
+//! Criterion bench behind the §8.5 department-network verification runs,
+//! including the single-thread vs multi-thread comparison of the parallel
+//! path-exploration engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use symnet_core::engine::{ExecConfig, SymNet};
 use symnet_models::scenarios::{department, DepartmentConfig};
 use symnet_models::tcp_options::symbolic_options_metadata;
@@ -16,7 +18,7 @@ fn bench(c: &mut Criterion) {
         routes: 50,
     });
     let engine = SymNet::with_config(
-        net,
+        net.clone(),
         ExecConfig {
             max_hops: 32,
             ..ExecConfig::default()
@@ -27,8 +29,31 @@ fn bench(c: &mut Criterion) {
         b.iter(|| engine.inject(topo.office_switch, 0, &outbound).path_count())
     });
     group.bench_function("inbound_scan", |b| {
-        b.iter(|| engine.inject(topo.exit_router, 0, &symbolic_l3_tcp_packet()).path_count())
+        b.iter(|| {
+            engine
+                .inject(topo.exit_router, 0, &symbolic_l3_tcp_packet())
+                .path_count()
+        })
     });
+
+    // Parallel-engine speedup: the same outbound verification at 1 worker
+    // (the legacy sequential loop) vs the machine's full parallelism (at
+    // least 4 workers, so the parallel driver is exercised even on small
+    // CI boxes). The reports are byte-identical; only the wall clock changes.
+    for threads in [1, ExecConfig::default_threads().max(4)] {
+        let engine = SymNet::with_config(
+            net.clone(),
+            ExecConfig {
+                max_hops: 32,
+                ..ExecConfig::default().with_threads(threads)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("office_to_internet_threads", threads),
+            &threads,
+            |b, _| b.iter(|| engine.inject(topo.office_switch, 0, &outbound).path_count()),
+        );
+    }
     group.finish();
 }
 

@@ -12,7 +12,8 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, &len| {
             b.iter(|| {
                 let mut ex = SymExecutor::new(SymConfig::default());
-                ex.run_symbolic(&tcp_options_program(len), len as usize).path_count()
+                ex.run_symbolic(&tcp_options_program(len), len as usize)
+                    .path_count()
             })
         });
     }

@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .map(|e| (e.prefix, e.prefix_len, e.port))
                 .collect();
-            ids.push((name.clone(), hsa.add_node(name.clone(), router_transfer_function(&routes))));
+            ids.push((
+                name.clone(),
+                hsa.add_node(name.clone(), router_transfer_function(&routes)),
+            ));
         }
         for (name, id) in &ids {
             if name.starts_with("zone") {

@@ -29,7 +29,9 @@ use symnet_klee::symex::{SymConfig, SymExecutor};
 use symnet_models::router::{router_basic, router_egress, router_ingress, Fib};
 use symnet_models::scenarios;
 use symnet_models::switch::{switch_basic, switch_egress, switch_ingress, MacTable};
-use symnet_models::tcp_options::{opt_key, option_kind, symbolic_options_metadata, AsaOptionsConfig};
+use symnet_models::tcp_options::{
+    opt_key, option_kind, symbolic_options_metadata, AsaOptionsConfig,
+};
 use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
 use symnet_sefl::{ElementProgram, Instruction};
 
@@ -196,7 +198,13 @@ pub fn fig8(sizes: &[usize], basic_cutoff: usize) -> TableReport {
         for model in ["basic", "ingress", "egress"] {
             if model == "basic" && entries > basic_cutoff {
                 rows.push(Row {
-                    cells: vec![model.into(), entries.to_string(), "-".into(), "-".into(), "DNF".into()],
+                    cells: vec![
+                        model.into(),
+                        entries.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "DNF".into(),
+                    ],
                 });
                 continue;
             }
@@ -293,7 +301,12 @@ pub fn table2(total: usize, basic_cutoff: usize, ingress_cutoff: usize) -> Table
     }
     TableReport {
         title: "Table 2: core router analysis".into(),
-        headers: vec!["Prefixes".into(), "Model".into(), "Paths".into(), "Runtime".into()],
+        headers: vec![
+            "Prefixes".into(),
+            "Model".into(),
+            "Paths".into(),
+            "Runtime".into(),
+        ],
         rows,
     }
 }
@@ -331,7 +344,10 @@ pub fn table3(zone_routers: usize, prefixes_per_router: usize) -> TableReport {
             .iter()
             .map(|e| (e.prefix, e.prefix_len, e.port))
             .collect();
-        node_ids.push((name.clone(), hsa.add_node(name.clone(), router_transfer_function(&routes))));
+        node_ids.push((
+            name.clone(),
+            hsa.add_node(name.clone(), router_transfer_function(&routes)),
+        ));
     }
     // Mirror the backbone wiring: every zone router's ports 0/1 go to the two
     // cores (node order in `fibs` is core0, core1, zone0..).
@@ -344,14 +360,17 @@ pub fn table3(zone_routers: usize, prefixes_per_router: usize) -> TableReport {
     }
     let hsa_generation = gen_start.elapsed();
     let run_start = Instant::now();
-    let hsa_paths = hsa
-        .reachability(node_ids[2].1, Ternary::any(32), 8)
-        .len();
+    let hsa_paths = hsa.reachability(node_ids[2].1, Ternary::any(32), 8).len();
     let hsa_runtime = run_start.elapsed();
 
     TableReport {
         title: "Table 3: comparison to Header Space Analysis (synthetic backbone)".into(),
-        headers: vec!["Tool".into(), "Generation".into(), "Runtime".into(), "Paths".into()],
+        headers: vec![
+            "Tool".into(),
+            "Generation".into(),
+            "Runtime".into(),
+            "Paths".into(),
+        ],
         rows: vec![
             Row {
                 cells: vec![
@@ -384,7 +403,8 @@ pub fn table4(klee_length: u64) -> TableReport {
     // Klee side: run the classic executor and measure what it can conclude.
     let klee_start = Instant::now();
     let mut executor = SymExecutor::new(SymConfig::default());
-    let klee_report = executor.run_symbolic(&tcp_options_program(klee_length), klee_length as usize);
+    let klee_report =
+        executor.run_symbolic(&tcp_options_program(klee_length), klee_length as usize);
     let klee_runtime = klee_start.elapsed();
     let klee_terminates = !klee_report.budget_exhausted;
 
@@ -398,20 +418,29 @@ pub fn table4(klee_length: u64) -> TableReport {
     let symnet_runtime = symnet_start.elapsed();
     let delivered: Vec<_> = report.delivered().collect();
     let mptcp_stripped = delivered.iter().all(|p| {
-        p.state.read_meta(&opt_key(option_kind::MPTCP)).map(|s| s.value)
+        p.state
+            .read_meta(&opt_key(option_kind::MPTCP))
+            .map(|s| s.value)
             == Ok(symnet_core::Value::Concrete(0))
     });
     let timestamp_allowed = delivered.iter().any(|p| {
-        symnet_core::verify::allowed_values(p, &symnet_sefl::FieldRef::meta(opt_key(option_kind::TIMESTAMP)))
-            .is_some_and(|s| s.contains(1))
+        symnet_core::verify::allowed_values(
+            p,
+            &symnet_sefl::FieldRef::meta(opt_key(option_kind::TIMESTAMP)),
+        )
+        .is_some_and(|s| s.contains(1))
     });
     let combinations_allowed = delivered.iter().any(|p| {
-        [option_kind::WSCALE, option_kind::SACK_OK, option_kind::TIMESTAMP]
-            .iter()
-            .all(|k| {
-                symnet_core::verify::allowed_values(p, &symnet_sefl::FieldRef::meta(opt_key(*k)))
-                    .is_some_and(|s| s.contains(1))
-            })
+        [
+            option_kind::WSCALE,
+            option_kind::SACK_OK,
+            option_kind::TIMESTAMP,
+        ]
+        .iter()
+        .all(|k| {
+            symnet_core::verify::allowed_values(p, &symnet_sefl::FieldRef::meta(opt_key(*k)))
+                .is_some_and(|s| s.contains(1))
+        })
     });
 
     let row = |property: &str, klee: String, symnet: String| Row {
@@ -419,7 +448,11 @@ pub fn table4(klee_length: u64) -> TableReport {
     };
     TableReport {
         title: "Table 4: Klee vs SymNet on the TCP-options firewall code".into(),
-        headers: vec!["Property".into(), "Klee (classic symex)".into(), "SymNet (SEFL model)".into()],
+        headers: vec![
+            "Property".into(),
+            "Klee (classic symex)".into(),
+            "SymNet (SEFL model)".into(),
+        ],
         rows: vec![
             row(
                 "Runtime",
@@ -428,7 +461,10 @@ pub fn table4(klee_length: u64) -> TableReport {
             ),
             row(
                 "Bounded execution",
-                format!("proved up to {klee_length}B only ({} paths)", klee_report.path_count()),
+                format!(
+                    "proved up to {klee_length}B only ({} paths)",
+                    klee_report.path_count()
+                ),
                 "by construction (model)".into(),
             ),
             row(
@@ -438,23 +474,39 @@ pub fn table4(klee_length: u64) -> TableReport {
             ),
             row(
                 "Terminates within budget",
-                if klee_terminates { "yes".into() } else { "no (budget exhausted)".into() },
+                if klee_terminates {
+                    "yes".into()
+                } else {
+                    "no (budget exhausted)".into()
+                },
                 "yes".into(),
             ),
             row(
                 "Timestamp allowed",
                 "wrong on short fields (reported blocked)".into(),
-                if timestamp_allowed { "yes (correct)".into() } else { "no".into() },
+                if timestamp_allowed {
+                    "yes (correct)".into()
+                } else {
+                    "no".into()
+                },
             ),
             row(
                 "Multipath stripped",
                 "unprovable on short fields".into(),
-                if mptcp_stripped { "yes (always)".into() } else { "no".into() },
+                if mptcp_stripped {
+                    "yes (always)".into()
+                } else {
+                    "no".into()
+                },
             ),
             row(
                 "All allowed options simultaneously",
                 "wrong (limited by options-field budget)".into(),
-                if combinations_allowed { "yes".into() } else { "no".into() },
+                if combinations_allowed {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ),
         ],
     }
@@ -524,7 +576,11 @@ pub fn sec84() -> TableReport {
     rows.push(Row {
         cells: vec![
             "Traffic symmetric through the proxy".into(),
-            format!("{} paths, all via P: {}", report.delivered_at(topo.internet, 0).count(), all_via_proxy),
+            format!(
+                "{} paths, all via P: {}",
+                report.delivered_at(topo.internet, 0).count(),
+                all_via_proxy
+            ),
         ],
     });
     let mtu_plain = report
@@ -632,11 +688,15 @@ pub fn sec85(access_switches: usize, mac_entries: usize, routes: usize) -> Table
     let report = engine.inject(topo.office_switch, 0, &pkt);
     let outbound_runtime = start.elapsed();
     let internet_paths = report.delivered_at(topo.internet, 0).count();
-    let via_asa = report
-        .delivered_at(topo.internet, 0)
-        .all(|p| p.ports_visited().iter().any(|port| port.starts_with("ASA:")));
+    let via_asa = report.delivered_at(topo.internet, 0).all(|p| {
+        p.ports_visited()
+            .iter()
+            .any(|port| port.starts_with("ASA:"))
+    });
     let mptcp_removed = report.delivered_at(topo.internet, 0).all(|p| {
-        p.state.read_meta(&opt_key(option_kind::MPTCP)).map(|s| s.value)
+        p.state
+            .read_meta(&opt_key(option_kind::MPTCP))
+            .map(|s| s.value)
             == Ok(symnet_core::Value::Concrete(0))
     });
     rows.push(Row {
@@ -658,9 +718,11 @@ pub fn sec85(access_switches: usize, mac_entries: usize, routes: usize) -> Table
     let inbound = engine.inject(topo.exit_router, 0, &symbolic_l3_tcp_packet());
     let inbound_runtime = start.elapsed();
     let leaked = inbound.delivered_at(topo.management, 0).count();
-    let leak_bypasses_asa = inbound
-        .delivered_at(topo.management, 0)
-        .all(|p| !p.ports_visited().iter().any(|port| port.starts_with("ASA:")));
+    let leak_bypasses_asa = inbound.delivered_at(topo.management, 0).all(|p| {
+        !p.ports_visited()
+            .iter()
+            .any(|port| port.starts_with("ASA:"))
+    });
     rows.push(Row {
         cells: vec![
             "Inbound scan".into(),
@@ -708,12 +770,25 @@ pub fn sec83() -> TableReport {
     let tcp = symbolic_tcp_packet();
 
     let cases: Vec<(&str, symnet_testgen::TestgenReport)> = vec![
-        ("IPMirror (correct)", run(ip_mirror("m"), &tcp, &reference_ip_mirror)),
-        ("IPMirror (buggy: ports not mirrored)", run(ip_mirror_buggy("m"), &tcp, &reference_ip_mirror)),
-        ("DecIPTTL (correct)", run(dec_ip_ttl("t"), &tcp, &reference_dec_ip_ttl)),
+        (
+            "IPMirror (correct)",
+            run(ip_mirror("m"), &tcp, &reference_ip_mirror),
+        ),
+        (
+            "IPMirror (buggy: ports not mirrored)",
+            run(ip_mirror_buggy("m"), &tcp, &reference_ip_mirror),
+        ),
+        (
+            "DecIPTTL (correct)",
+            run(dec_ip_ttl("t"), &tcp, &reference_dec_ip_ttl),
+        ),
         (
             "HostEtherFilter (correct)",
-            run(host_ether_filter("f", 0xaa), &symbolic_ether, &reference_host_ether_filter(0xaa)),
+            run(
+                host_ether_filter("f", 0xaa),
+                &symbolic_ether,
+                &reference_host_ether_filter(0xaa),
+            ),
         ),
         (
             "HostEtherFilter (buggy: checks EtherType)",

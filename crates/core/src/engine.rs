@@ -6,6 +6,17 @@
 //! over [`ExecState`]s, `If`/`Fork` spawn new paths, `Constrain`/`Fail` and
 //! memory-safety violations terminate paths, links move packets between
 //! elements, and the Figure 5 state-inclusion check detects loops.
+//!
+//! Distinct symbolic paths are independent, so exploration is parallel by
+//! default: pending paths go to a shared work queue drained by
+//! [`ExecConfig::threads`] workers, each owning a thread-local [`Solver`]
+//! whose statistics are merged at the end. Reports stay deterministic — every
+//! emitted path carries its fork lineage (the breadth-first position of the
+//! pending path that emitted it plus the emission index within that step),
+//! and the final report is sorted into exactly the order the single-threaded
+//! engine produces, so the JSON output is byte-identical for any thread
+//! count (the one exception is a run truncated by the [`ExecConfig::max_paths`]
+//! cap, whose cut-off point is scheduling-dependent).
 
 use crate::error::{DropReason, ExecError};
 use crate::network::{ElementId, Network};
@@ -13,7 +24,10 @@ use crate::state::{ExecState, TraceEntry};
 use crate::symbols::VarAllocator;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 use symnet_sefl::field::FieldRef;
 use symnet_sefl::fields;
@@ -35,9 +49,34 @@ pub struct ExecConfig {
     /// Include paths pruned as infeasible `If` branches in the report.
     pub include_pruned: bool,
     /// Hard cap on the total number of reported paths (runaway-model guard).
+    /// Checked when a pending path is dequeued; with multiple workers the cap
+    /// is enforced with an atomic counter and is accurate to within one
+    /// in-flight path per worker.
     pub max_paths: usize,
+    /// Number of worker threads exploring paths. `1` runs the exact
+    /// single-threaded legacy loop (no queue locking, no thread spawn); the
+    /// default is the machine's available parallelism. As long as the run
+    /// stays under [`ExecConfig::max_paths`], the report is byte-identical
+    /// for every thread count; a run that hits the cap is truncated at a
+    /// scheduling-dependent point (see `max_paths`).
+    pub threads: usize,
     /// Constraint-solver limits.
     pub solver: SolverConfig,
+}
+
+impl ExecConfig {
+    /// The default worker count: every hardware thread.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Returns this configuration with a different worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 impl Default for ExecConfig {
@@ -48,6 +87,7 @@ impl Default for ExecConfig {
             loop_fields: vec![fields::ip_src().field(), fields::ip_dst().field()],
             include_pruned: false,
             max_paths: 100_000,
+            threads: ExecConfig::default_threads(),
             solver: SolverConfig::default(),
         }
     }
@@ -133,13 +173,9 @@ impl ExecutionReport {
         element: ElementId,
         port: usize,
     ) -> impl Iterator<Item = &PathReport> + '_ {
-        self.paths.iter().filter(move |p| {
-            p.status
-                == PathStatus::Delivered {
-                    element,
-                    port,
-                }
-        })
+        self.paths
+            .iter()
+            .filter(move |p| p.status == PathStatus::Delivered { element, port })
     }
 
     /// Paths that were dropped, with their reasons.
@@ -210,12 +246,179 @@ struct PendingPath {
     /// Per-path history of loop-detection snapshots: (element, input port,
     /// projected feasible set per loop field).
     history: Vec<(ElementId, usize, Vec<Option<IntervalSet>>)>,
+    /// Fresh-variable allocator for this path. Each path carries its own
+    /// allocator (seeded from the post-construction state) so that variable
+    /// ids depend only on the path's own history, never on the order in which
+    /// worker threads interleave — a prerequisite for deterministic reports.
+    symbols: VarAllocator,
+    /// Breadth-first position of this pending path: the emission index at
+    /// every fork since injection. Comparing `(lineage.len(), lineage)`
+    /// lexicographically reproduces the FIFO processing order of the
+    /// single-threaded engine.
+    lineage: Vec<u32>,
 }
 
-/// Mutable context shared by the interpreter during one injection.
+/// Mutable context used by the interpreter while processing one pending path.
 struct Ctx {
     solver: Solver,
     symbols: VarAllocator,
+}
+
+/// Deterministic sort key of one emitted path: the lineage of the pending
+/// path whose processing emitted it, plus the emission index within that
+/// processing step. Ordering by `(parent depth, parent lineage, index)` is
+/// exactly the emission order of the sequential engine (pending paths are
+/// processed in breadth-first lineage order, and a step's emissions are
+/// ordered by index).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct EmitKey {
+    parent: Vec<u32>,
+    event: u32,
+}
+
+impl Ord for EmitKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.parent
+            .len()
+            .cmp(&other.parent.len())
+            .then_with(|| self.parent.cmp(&other.parent))
+            .then_with(|| self.event.cmp(&other.event))
+    }
+}
+
+impl PartialOrd for EmitKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One terminated path, before ids are assigned.
+struct RawResult {
+    key: EmitKey,
+    status: PathStatus,
+    state: ExecState,
+}
+
+/// Collects the emissions (terminated paths and forked pending paths) of one
+/// processing step, assigning lineage/keys from a per-step event counter.
+struct StepSink<'a> {
+    parent: &'a [u32],
+    next_event: u32,
+    results: &'a mut Vec<RawResult>,
+    children: &'a mut Vec<PendingPath>,
+}
+
+impl<'a> StepSink<'a> {
+    fn new(
+        parent: &'a [u32],
+        results: &'a mut Vec<RawResult>,
+        children: &'a mut Vec<PendingPath>,
+    ) -> Self {
+        StepSink {
+            parent,
+            next_event: 0,
+            results,
+            children,
+        }
+    }
+
+    /// Emits a terminated path.
+    fn emit(&mut self, status: PathStatus, state: ExecState) {
+        let key = EmitKey {
+            parent: self.parent.to_vec(),
+            event: self.next_event,
+        };
+        self.next_event += 1;
+        self.results.push(RawResult { key, status, state });
+    }
+
+    /// Spawns a pending path to be processed later.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn(
+        &mut self,
+        state: ExecState,
+        element: ElementId,
+        input_port: usize,
+        hops: usize,
+        history: Vec<(ElementId, usize, Vec<Option<IntervalSet>>)>,
+        symbols: VarAllocator,
+    ) {
+        let mut lineage = self.parent.to_vec();
+        lineage.push(self.next_event);
+        self.next_event += 1;
+        self.children.push(PendingPath {
+            state,
+            element,
+            input_port,
+            hops,
+            history,
+            symbols,
+            lineage,
+        });
+    }
+}
+
+/// The shared work queue of the parallel driver. `outstanding` counts queued
+/// plus in-flight pending paths; workers exit when it reaches zero (no work
+/// can appear anymore) or when the path budget stops the run.
+struct WorkQueue {
+    state: Mutex<WorkQueueState>,
+    ready: Condvar,
+}
+
+struct WorkQueueState {
+    queue: VecDeque<PendingPath>,
+    outstanding: usize,
+    stopped: bool,
+}
+
+impl WorkQueue {
+    fn new(roots: Vec<PendingPath>) -> Self {
+        let outstanding = roots.len();
+        WorkQueue {
+            state: Mutex::new(WorkQueueState {
+                queue: VecDeque::from(roots),
+                outstanding,
+                stopped: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a pending path is available; `None` means the run is over
+    /// (queue drained with nothing in flight, or stopped by the path budget).
+    fn pop(&self) -> Option<PendingPath> {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        loop {
+            if state.stopped {
+                return None;
+            }
+            if let Some(pending) = state.queue.pop_front() {
+                return Some(pending);
+            }
+            if state.outstanding == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("work queue poisoned");
+        }
+    }
+
+    /// Publishes the children of a finished processing step and retires the
+    /// step itself.
+    fn complete(&self, children: Vec<PendingPath>) {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        state.outstanding += children.len();
+        state.queue.extend(children);
+        state.outstanding -= 1;
+        self.ready.notify_all();
+    }
+
+    /// Stops the run (path budget exhausted).
+    fn stop(&self) {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        state.stopped = true;
+        self.ready.notify_all();
+    }
 }
 
 /// The SymNet symbolic execution engine.
@@ -263,70 +466,191 @@ impl SymNet {
             solver: Solver::with_config(self.config.solver),
             symbols: VarAllocator::new(),
         };
-        let mut results: Vec<PathReport> = Vec::new();
-        let mut worklist: VecDeque<PendingPath> = VecDeque::new();
+        let mut results: Vec<RawResult> = Vec::new();
+        let mut roots: Vec<PendingPath> = Vec::new();
 
         // Build the symbolic packet in the context of the injection element.
+        // This runs on the caller's thread; every root path then starts from a
+        // clone of the post-construction allocator, so fresh variables
+        // allocated later are a function of the path alone.
         let prefix = local_prefix(&self.network, element);
-        let construction = exec_instr(&mut ctx, &prefix, element, &self.network, packet, ExecState::new());
+        let construction = exec_instr(
+            &mut ctx,
+            &prefix,
+            element,
+            &self.network,
+            packet,
+            ExecState::new(),
+        );
         let mut injected = ExecState::new();
         let mut first = true;
-        for flow in construction {
-            match flow.status {
-                FlowStatus::Running => {
-                    if first {
-                        injected = flow.state.clone();
-                        first = false;
+        {
+            let mut sink = StepSink::new(&[], &mut results, &mut roots);
+            for flow in construction {
+                match flow.status {
+                    FlowStatus::Running => {
+                        if first {
+                            injected = flow.state.clone();
+                            first = false;
+                        }
+                        sink.spawn(
+                            flow.state,
+                            element,
+                            input_port,
+                            0,
+                            Vec::new(),
+                            ctx.symbols.clone(),
+                        );
                     }
-                    worklist.push_back(PendingPath {
-                        state: flow.state,
-                        element,
-                        input_port,
-                        hops: 0,
-                        history: Vec::new(),
-                    });
+                    FlowStatus::SentTo(_) => sink.emit(
+                        PathStatus::Dropped {
+                            element,
+                            reason: DropReason::Memory(
+                                "packet construction code must not forward".into(),
+                            ),
+                        },
+                        flow.state,
+                    ),
+                    FlowStatus::Dropped(reason) => {
+                        sink.emit(PathStatus::Dropped { element, reason }, flow.state)
+                    }
                 }
-                FlowStatus::SentTo(_) => results.push(PathReport {
-                    id: results.len(),
-                    status: PathStatus::Dropped {
-                        element,
-                        reason: DropReason::Memory(
-                            "packet construction code must not forward".into(),
-                        ),
-                    },
-                    state: flow.state,
-                }),
-                FlowStatus::Dropped(reason) => results.push(PathReport {
-                    id: results.len(),
-                    status: PathStatus::Dropped { element, reason },
-                    state: flow.state,
-                }),
             }
         }
 
-        // Main exploration loop.
-        while let Some(pending) = worklist.pop_front() {
-            if results.len() >= self.config.max_paths {
-                break;
+        // Main exploration: single-threaded drains a plain FIFO (the legacy
+        // path), multi-threaded drains a shared queue with per-worker solver
+        // contexts. Both produce the same set of raw results.
+        let mut solver_stats = SolverStats::default();
+        let workers = self.config.threads.max(1);
+        if workers == 1 {
+            self.drive_sequential(&mut ctx, roots, &mut results);
+        } else {
+            let (worker_results, worker_stats) = self.drive_parallel(workers, roots, results.len());
+            results.extend(worker_results);
+            for stats in &worker_stats {
+                solver_stats.merge(stats);
             }
-            self.process_pending(&mut ctx, pending, &mut worklist, &mut results);
         }
+        solver_stats.merge(ctx.solver.stats());
+
+        // Deterministic report order: sort by fork lineage, which reproduces
+        // the emission order of the sequential engine, then assign ids.
+        results.sort_by(|a, b| a.key.cmp(&b.key));
+        let paths = results
+            .into_iter()
+            .enumerate()
+            .map(|(id, raw)| PathReport {
+                id,
+                status: raw.status,
+                state: raw.state,
+            })
+            .collect();
 
         ExecutionReport {
-            paths: results,
+            paths,
             injected,
-            solver_stats: ctx.solver.stats().clone(),
+            solver_stats,
             wall_time: start.elapsed(),
         }
     }
 
-    /// Processes one path arrival at an element input port.
+    /// The single-threaded driver: the legacy FIFO loop.
+    fn drive_sequential(
+        &self,
+        ctx: &mut Ctx,
+        roots: Vec<PendingPath>,
+        results: &mut Vec<RawResult>,
+    ) {
+        let mut worklist: VecDeque<PendingPath> = VecDeque::from(roots);
+        let mut children: Vec<PendingPath> = Vec::new();
+        while let Some(pending) = worklist.pop_front() {
+            if results.len() >= self.config.max_paths {
+                break;
+            }
+            self.process_pending(ctx, pending, results, &mut children);
+            worklist.extend(children.drain(..));
+        }
+    }
+
+    /// The multi-threaded driver: `workers` scoped threads drain a shared
+    /// queue; each owns a solver whose statistics are returned for merging.
+    fn drive_parallel(
+        &self,
+        workers: usize,
+        roots: Vec<PendingPath>,
+        already_emitted: usize,
+    ) -> (Vec<RawResult>, Vec<SolverStats>) {
+        let queue = WorkQueue::new(roots);
+        let emitted = AtomicUsize::new(already_emitted);
+        let outputs: Vec<(Vec<RawResult>, SolverStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| self.worker(&queue, &emitted)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker thread panicked"))
+                .collect()
+        });
+        let mut results = Vec::new();
+        let mut stats = Vec::new();
+        for (worker_results, worker_stats) in outputs {
+            results.extend(worker_results);
+            stats.push(worker_stats);
+        }
+        (results, stats)
+    }
+
+    /// One worker: pop pending paths, process them with a thread-local
+    /// context, publish forked children back to the queue.
+    fn worker(&self, queue: &WorkQueue, emitted: &AtomicUsize) -> (Vec<RawResult>, SolverStats) {
+        // If this worker unwinds mid-step (a panic anywhere in the
+        // interpreter or solver), its in-flight queue slot would otherwise
+        // never be retired and every peer would wait forever on the condvar.
+        // The guard stops the queue on unwind so peers exit and the panic
+        // propagates through the scope join instead of deadlocking.
+        struct PanicGuard<'a> {
+            queue: &'a WorkQueue,
+            armed: bool,
+        }
+        impl Drop for PanicGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.queue.stop();
+                }
+            }
+        }
+        let mut guard = PanicGuard { queue, armed: true };
+
+        let mut ctx = Ctx {
+            solver: Solver::with_config(self.config.solver),
+            symbols: VarAllocator::new(),
+        };
+        let mut results: Vec<RawResult> = Vec::new();
+        let mut children: Vec<PendingPath> = Vec::new();
+        while let Some(pending) = queue.pop() {
+            if emitted.load(AtomicOrdering::Relaxed) >= self.config.max_paths {
+                queue.stop();
+                queue.complete(Vec::new());
+                break;
+            }
+            let before = results.len();
+            self.process_pending(&mut ctx, pending, &mut results, &mut children);
+            emitted.fetch_add(results.len() - before, AtomicOrdering::Relaxed);
+            queue.complete(std::mem::take(&mut children));
+        }
+        guard.armed = false;
+        (results, ctx.solver.into_stats())
+    }
+
+    /// Processes one path arrival at an element input port, emitting
+    /// terminated paths and forked children into the caller's buffers.
     fn process_pending(
         &self,
         ctx: &mut Ctx,
         pending: PendingPath,
-        worklist: &mut VecDeque<PendingPath>,
-        results: &mut Vec<PathReport>,
+        results: &mut Vec<RawResult>,
+        children: &mut Vec<PendingPath>,
     ) {
         let PendingPath {
             mut state,
@@ -334,7 +658,13 @@ impl SymNet {
             input_port,
             hops,
             mut history,
+            symbols,
+            lineage,
         } = pending;
+        // The path's allocator becomes the interpreter context's allocator for
+        // the duration of this step; children snapshot it at spawn time.
+        ctx.symbols = symbols;
+        let mut sink = StepSink::new(&lineage, results, children);
         let program = self.network.element(element);
         let prefix = local_prefix(&self.network, element);
         state.push_trace(TraceEntry::Port(
@@ -344,20 +674,19 @@ impl SymNet {
         // Loop detection (Figure 5): compare the projected state against every
         // previous visit of the same port on this path.
         if self.config.detect_loops {
-            let snapshot = self.loop_snapshot(ctx, &state);
+            let snapshot = loop_snapshot(&self.config, ctx, &state);
             let revisit = history
                 .iter()
                 .filter(|(e, p, _)| *e == element && *p == input_port)
                 .any(|(_, _, old)| snapshot_included(old, &snapshot));
             if revisit {
-                results.push(PathReport {
-                    id: results.len(),
-                    status: PathStatus::Dropped {
+                sink.emit(
+                    PathStatus::Dropped {
                         element,
                         reason: DropReason::Loop,
                     },
                     state,
-                });
+                );
                 return;
             }
             history.push((element, input_port, snapshot));
@@ -367,20 +696,19 @@ impl SymNet {
         let flows = exec_instr(ctx, &prefix, element, &self.network, &input_code, state);
         for flow in flows {
             match flow.status {
-                FlowStatus::Running => results.push(PathReport {
-                    id: results.len(),
-                    status: PathStatus::Dropped {
+                FlowStatus::Running => sink.emit(
+                    PathStatus::Dropped {
                         element,
                         reason: DropReason::NotForwarded,
                     },
-                    state: flow.state,
-                }),
+                    flow.state,
+                ),
                 FlowStatus::Dropped(reason) => {
-                    self.push_drop(results, element, reason, flow.state)
+                    self.emit_drop(&mut sink, element, reason, flow.state)
                 }
                 FlowStatus::SentTo(out_port) => {
                     self.process_output(
-                        ctx, element, out_port, hops, &history, flow.state, worklist, results,
+                        ctx, element, out_port, hops, &history, flow.state, &mut sink,
                     );
                 }
             }
@@ -397,14 +725,13 @@ impl SymNet {
         hops: usize,
         history: &[(ElementId, usize, Vec<Option<IntervalSet>>)],
         mut state: ExecState,
-        worklist: &mut VecDeque<PendingPath>,
-        results: &mut Vec<PathReport>,
+        sink: &mut StepSink<'_>,
     ) {
         let program = self.network.element(element);
         let prefix = local_prefix(&self.network, element);
         if out_port >= program.output_count {
-            self.push_drop(
-                results,
+            self.emit_drop(
+                sink,
                 element,
                 DropReason::Memory(format!("forward to missing output port {out_port}")),
                 state,
@@ -418,35 +745,33 @@ impl SymNet {
         let flows = exec_instr(ctx, &prefix, element, &self.network, &output_code, state);
         for flow in flows {
             match flow.status {
-                FlowStatus::Dropped(reason) => {
-                    self.push_drop(results, element, reason, flow.state)
-                }
-                FlowStatus::SentTo(_) => self.push_drop(
-                    results,
+                FlowStatus::Dropped(reason) => self.emit_drop(sink, element, reason, flow.state),
+                FlowStatus::SentTo(_) => self.emit_drop(
+                    sink,
                     element,
                     DropReason::Memory("output-port code must not forward".into()),
                     flow.state,
                 ),
                 FlowStatus::Running => match self.network.link_from(element, out_port) {
-                    None => results.push(PathReport {
-                        id: results.len(),
-                        status: PathStatus::Delivered {
+                    None => sink.emit(
+                        PathStatus::Delivered {
                             element,
                             port: out_port,
                         },
-                        state: flow.state,
-                    }),
+                        flow.state,
+                    ),
                     Some((next_element, next_port)) => {
                         if hops + 1 > self.config.max_hops {
-                            self.push_drop(results, element, DropReason::HopLimit, flow.state);
+                            self.emit_drop(sink, element, DropReason::HopLimit, flow.state);
                         } else {
-                            worklist.push_back(PendingPath {
-                                state: flow.state,
-                                element: next_element,
-                                input_port: next_port,
-                                hops: hops + 1,
-                                history: history.to_vec(),
-                            });
+                            sink.spawn(
+                                flow.state,
+                                next_element,
+                                next_port,
+                                hops + 1,
+                                history.to_vec(),
+                                ctx.symbols.clone(),
+                            );
                         }
                     }
                 },
@@ -454,9 +779,9 @@ impl SymNet {
         }
     }
 
-    fn push_drop(
+    fn emit_drop(
         &self,
-        results: &mut Vec<PathReport>,
+        sink: &mut StepSink<'_>,
         element: ElementId,
         reason: DropReason,
         state: ExecState,
@@ -464,33 +789,33 @@ impl SymNet {
         if reason == DropReason::InfeasibleBranch && !self.config.include_pruned {
             return;
         }
-        results.push(PathReport {
-            id: results.len(),
-            status: PathStatus::Dropped { element, reason },
-            state,
-        });
+        sink.emit(PathStatus::Dropped { element, reason }, state);
     }
+}
 
-    /// Projects the state onto the configured loop fields: for every field,
-    /// the set of values it can currently take (None if the field is not
-    /// allocated on this path or the projection is unknown).
-    fn loop_snapshot(&self, ctx: &mut Ctx, state: &ExecState) -> Vec<Option<IntervalSet>> {
-        let path = state.path_condition();
-        self.config
-            .loop_fields
-            .iter()
-            .map(|field| match state.read_field(field, "") {
-                Err(_) => None,
-                Ok(slot) => match slot.value {
-                    Value::Concrete(v) => Some(IntervalSet::point(v as i128)),
-                    Value::Sym { var, offset } => ctx
-                        .solver
-                        .feasible_values(&path, var)
-                        .map(|set| set.shift(offset as i128)),
-                },
-            })
-            .collect()
-    }
+/// Projects the state onto the configured loop fields: for every field, the
+/// set of values it can currently take (None if the field is not allocated on
+/// this path or the projection is unknown).
+fn loop_snapshot(
+    config: &ExecConfig,
+    ctx: &mut Ctx,
+    state: &ExecState,
+) -> Vec<Option<IntervalSet>> {
+    let path = state.path_condition();
+    config
+        .loop_fields
+        .iter()
+        .map(|field| match state.read_field(field, "") {
+            Err(_) => None,
+            Ok(slot) => match slot.value {
+                Value::Concrete(v) => Some(IntervalSet::point(v as i128)),
+                Value::Sym { var, offset } => ctx
+                    .solver
+                    .feasible_values(&path, var)
+                    .map(|set| set.shift(offset as i128)),
+            },
+        })
+        .collect()
 }
 
 /// "New state contains all possible values in the old state" (Figure 5.d):
@@ -521,6 +846,10 @@ fn local_prefix(network: &Network, element: ElementId) -> String {
 }
 
 /// Interprets one instruction over one state, producing the resulting flows.
+/// `element` and `network` are threaded through for instructions that need
+/// the surrounding topology context (none of the current instruction set
+/// does outside of recursion, hence the lint allowance).
+#[allow(clippy::only_used_in_recursion)]
 fn exec_instr(
     ctx: &mut Ctx,
     local_prefix: &str,
@@ -705,7 +1034,9 @@ fn exec_instr(
             flows
         }
         Instruction::Forward(port) => {
-            state.push_trace(TraceEntry::Instruction(format!("Forward(OutputPort({port}))")));
+            state.push_trace(TraceEntry::Instruction(format!(
+                "Forward(OutputPort({port}))"
+            )));
             vec![Flow {
                 state,
                 status: FlowStatus::SentTo(*port),
@@ -923,18 +1254,18 @@ mod tests {
     #[test]
     fn packets_cross_links_between_elements() {
         let mut net = Network::new();
-        let a = net.add_element(
-            ElementProgram::new("A", 1, 1).with_any_input_code(Instruction::block(vec![
+        let a = net.add_element(ElementProgram::new("A", 1, 1).with_any_input_code(
+            Instruction::block(vec![
                 Instruction::assign(ip_ttl().field(), Expr::reference(ip_ttl().field()).minus(1)),
                 Instruction::forward(0),
-            ])),
-        );
-        let b = net.add_element(
-            ElementProgram::new("B", 1, 1).with_any_input_code(Instruction::block(vec![
+            ]),
+        ));
+        let b = net.add_element(ElementProgram::new("B", 1, 1).with_any_input_code(
+            Instruction::block(vec![
                 Instruction::constrain(Condition::ge(ip_ttl().field(), 1u64)),
                 Instruction::forward(0),
-            ])),
-        );
+            ]),
+        ));
         net.add_link(a, 0, b, 0);
         let engine = SymNet::new(net);
         let report = engine.inject(a, 0, &symbolic_tcp_packet());
@@ -942,7 +1273,10 @@ mod tests {
         let path = report.delivered().next().unwrap();
         assert_eq!(
             path.status,
-            PathStatus::Delivered { element: b, port: 0 }
+            PathStatus::Delivered {
+                element: b,
+                port: 0
+            }
         );
         // The path visited A then B.
         let ports = path.ports_visited();
@@ -976,8 +1310,7 @@ mod tests {
     fn fork_duplicates_to_every_port() {
         let mut net = Network::new();
         let sw = net.add_element(
-            ElementProgram::new("sw", 1, 3)
-                .with_any_input_code(Instruction::fork(vec![0, 1, 2])),
+            ElementProgram::new("sw", 1, 3).with_any_input_code(Instruction::fork(vec![0, 1, 2])),
         );
         let engine = SymNet::new(net);
         let report = engine.inject(sw, 0, &symbolic_tcp_packet());
@@ -1071,6 +1404,90 @@ mod tests {
             path.state.read_meta("SIZE2").unwrap().value,
             Value::Concrete(4)
         );
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_the_report() {
+        // Switch-like element forking to several ports, chained twice, with a
+        // constraint so that solver work happens on every path.
+        let mut net = Network::new();
+        let a = net.add_element(ElementProgram::new("A", 1, 4).with_any_input_code(
+            Instruction::block(vec![
+                Instruction::constrain(Condition::ge(ip_ttl().field(), 1u64)),
+                Instruction::fork(vec![0, 1, 2, 3]),
+            ]),
+        ));
+        let b = net.add_element(
+            ElementProgram::new("B", 1, 3).with_any_input_code(Instruction::fork(vec![0, 1, 2])),
+        );
+        net.add_link(a, 0, b, 0);
+        net.add_link(a, 1, b, 0);
+        let reports: Vec<ExecutionReport> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                let engine =
+                    SymNet::with_config(net.clone(), ExecConfig::default().with_threads(threads));
+                engine.inject(a, 0, &symbolic_tcp_packet())
+            })
+            .collect();
+        for report in &reports[1..] {
+            assert_eq!(report.path_count(), reports[0].path_count());
+            for (a, b) in reports[0].paths.iter().zip(report.paths.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.status, b.status);
+                assert_eq!(a.state, b.state);
+            }
+            assert_eq!(report.injected, reports[0].injected);
+            // Deterministic solver counters (time differs, sums do not).
+            assert_eq!(report.solver_stats.calls, reports[0].solver_stats.calls);
+            assert_eq!(report.solver_stats.sat, reports[0].solver_stats.sat);
+            assert_eq!(report.solver_stats.unsat, reports[0].solver_stats.unsat);
+            assert_eq!(
+                report.solver_stats.cubes_examined,
+                reports[0].solver_stats.cubes_examined
+            );
+        }
+        // 4 forks at A, two of which land on B and fork in 3: 2 + 2*3 = 8.
+        assert_eq!(reports[0].delivered().count(), 8);
+    }
+
+    #[test]
+    fn max_paths_caps_runs() {
+        // a forks 8 ways into b, b forks 8 ways: 64 delivered paths across 8
+        // processing steps when uncapped.
+        let build = || {
+            let mut net = Network::new();
+            let a = net.add_element(
+                ElementProgram::new("a", 1, 8)
+                    .with_any_input_code(Instruction::fork((0..8).collect())),
+            );
+            let b = net.add_element(
+                ElementProgram::new("b", 1, 8)
+                    .with_any_input_code(Instruction::fork((0..8).collect())),
+            );
+            for port in 0..8 {
+                net.add_link(a, port, b, 0);
+            }
+            (net, a)
+        };
+        // Sequential: the cap is checked at dequeue time, so the run stops
+        // after the first step that reaches it (8 + 8 = 16 paths).
+        let (net, a) = build();
+        let config = ExecConfig {
+            max_paths: 10,
+            ..ExecConfig::default().with_threads(1)
+        };
+        let report = SymNet::with_config(net, config).inject(a, 0, &symbolic_tcp_packet());
+        assert_eq!(report.path_count(), 16);
+        // Parallel: the atomic cap is approximate (workers may each have one
+        // step in flight) but bounds the run and never under-produces.
+        let (net, a) = build();
+        let config = ExecConfig {
+            max_paths: 10,
+            ..ExecConfig::default().with_threads(4)
+        };
+        let report = SymNet::with_config(net, config).inject(a, 0, &symbolic_tcp_packet());
+        assert!(report.path_count() >= 10 && report.path_count() <= 64);
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl fmt::Display for ExecError {
                 "allocation of {width} bits at {address} overlaps allocation at {existing}"
             ),
             ExecError::WidthMismatch { expected, actual } => {
-                write!(f, "deallocation width mismatch: expected {expected}, found {actual}")
+                write!(
+                    f,
+                    "deallocation width mismatch: expected {expected}, found {actual}"
+                )
             }
             ExecError::UnknownMetadata(key) => write!(f, "unknown metadata \"{key}\""),
             ExecError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
@@ -111,7 +114,9 @@ mod tests {
 
     #[test]
     fn errors_format_readably() {
-        assert!(ExecError::UnknownTag("L4".into()).to_string().contains("L4"));
+        assert!(ExecError::UnknownTag("L4".into())
+            .to_string()
+            .contains("L4"));
         assert!(ExecError::Unallocated { address: 128 }
             .to_string()
             .contains("128"));

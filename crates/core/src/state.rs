@@ -429,9 +429,9 @@ impl ExecState {
             Expr::Neg(a) => {
                 let va = self.eval_expr(a, symbols, width_hint, local_prefix)?;
                 match va {
-                    Value::Concrete(v) => Ok(Value::Concrete(
-                        (v.wrapping_neg()) & width_mask(width_hint),
-                    )),
+                    Value::Concrete(v) => {
+                        Ok(Value::Concrete((v.wrapping_neg()) & width_mask(width_hint)))
+                    }
                     Value::Sym { .. } => Err(ExecError::Unsupported(
                         "negation of a symbolic value".into(),
                     )),
@@ -468,7 +468,11 @@ impl ExecState {
                         let w = *width;
                         let shift = w.saturating_sub(*prefix_len);
                         let matches = (v >> shift) == ((*value & width_mask(w as u16)) >> shift);
-                        Ok(if matches { Formula::True } else { Formula::False })
+                        Ok(if matches {
+                            Formula::True
+                        } else {
+                            Formula::False
+                        })
                     }
                     Value::Sym { var, offset } => {
                         if offset != 0 {
@@ -598,9 +602,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
     fn inner(p: &[u8], t: &[u8]) -> bool {
         match (p.first(), t.first()) {
             (None, None) => true,
-            (Some(b'*'), _) => {
-                inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..]))
-            }
+            (Some(b'*'), _) => inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..])),
             (Some(pc), Some(tc)) if pc == tc => inner(&p[1..], &t[1..]),
             _ => false,
         }
@@ -651,11 +653,17 @@ mod tests {
         // Re-allocating at the same address masks the old value...
         s.allocate_header(96, 32).unwrap();
         s.write_header(96, Value::Concrete(0x08080808)).unwrap();
-        assert_eq!(s.read_header(96).unwrap().value, Value::Concrete(0x08080808));
+        assert_eq!(
+            s.read_header(96).unwrap().value,
+            Value::Concrete(0x08080808)
+        );
         assert_eq!(s.header_stack_depth(96), 2);
         // ...and deallocation restores it.
         s.deallocate_header(96, Some(32)).unwrap();
-        assert_eq!(s.read_header(96).unwrap().value, Value::Concrete(0xc0a80101));
+        assert_eq!(
+            s.read_header(96).unwrap().value,
+            Value::Concrete(0xc0a80101)
+        );
         s.deallocate_header(96, None).unwrap();
         assert!(s.read_header(96).is_err());
     }
@@ -756,10 +764,20 @@ mod tests {
         let v = s
             .eval_expr(&Expr::reference(f.clone()).plus(20), &mut symbols, 16, "")
             .unwrap();
-        assert_eq!(v, Value::Sym { var: sym, offset: 20 });
+        assert_eq!(
+            v,
+            Value::Sym {
+                var: sym,
+                offset: 20
+            }
+        );
         // Fresh symbolic values get distinct variables.
-        let a = s.eval_expr(&Expr::symbolic(), &mut symbols, 16, "").unwrap();
-        let b = s.eval_expr(&Expr::symbolic(), &mut symbols, 16, "").unwrap();
+        let a = s
+            .eval_expr(&Expr::symbolic(), &mut symbols, 16, "")
+            .unwrap();
+        let b = s
+            .eval_expr(&Expr::symbolic(), &mut symbols, 16, "")
+            .unwrap();
         assert_ne!(a, b);
         // Sum of two symbols is rejected.
         let bad = Expr::reference(f.clone()).add(Expr::reference(f));
@@ -778,7 +796,10 @@ mod tests {
         let lowered = s
             .lower_condition(&Condition::eq(f.clone(), 42u64), &mut symbols, "")
             .unwrap();
-        assert_eq!(lowered, Formula::cmp(CmpOp::Eq, Term::var(var), Term::Const(42)));
+        assert_eq!(
+            lowered,
+            Formula::cmp(CmpOp::Eq, Term::var(var), Term::Const(42))
+        );
         // Prefix match on symbolic value lowers to PrefixMatch.
         let m = s
             .lower_condition(
@@ -789,7 +810,8 @@ mod tests {
             .unwrap();
         assert!(matches!(m, Formula::PrefixMatch { .. }));
         // Prefix match on a concrete value folds to a constant.
-        s.write_header(dst_addr, Value::Concrete(0x0a000001)).unwrap();
+        s.write_header(dst_addr, Value::Concrete(0x0a000001))
+            .unwrap();
         let m = s
             .lower_condition(
                 &Condition::matches_ipv4_prefix(f.clone(), 0x0a000000, 8),

@@ -304,10 +304,7 @@ mod tests {
 
     #[test]
     fn router_tf_applies_longest_prefix_first() {
-        let tf = router_transfer_function(&[
-            (0x0a000000, 8, 0),
-            (0x0a0a0001, 32, 1),
-        ]);
+        let tf = router_transfer_function(&[(0x0a000000, 8, 0), (0x0a0a0001, 32, 1)]);
         assert_eq!(tf.rules[0].out_port, 1, "most specific rule first");
         // A /32-constrained packet matches both rules (HSA over-approximates),
         // a disjoint packet matches only the /8.
@@ -323,7 +320,10 @@ mod tests {
     fn reachability_follows_links_and_stops_at_edges() {
         let mut net = HsaNetwork::new();
         let a = net.add_node("a", router_transfer_function(&[(0, 0, 0)]));
-        let b = net.add_node("b", router_transfer_function(&[(0x0a000000, 8, 0), (0, 0, 1)]));
+        let b = net.add_node(
+            "b",
+            router_transfer_function(&[(0x0a000000, 8, 0), (0, 0, 1)]),
+        );
         net.add_link(a, 0, b);
         let paths = net.reachability(a, Ternary::any(32), 10);
         // Both of b's rules fire on the wildcard region.

@@ -43,7 +43,10 @@ pub fn tcp_options_program(length: u64) -> Program {
             Stmt::While(
                 Expr::bin(BinOp::Lt, Expr::v("i"), bound),
                 vec![
-                    Stmt::Store(Expr::bin(BinOp::Add, Expr::v("ptr"), Expr::v("i")), Expr::c(1)),
+                    Stmt::Store(
+                        Expr::bin(BinOp::Add, Expr::v("ptr"), Expr::v("i")),
+                        Expr::c(1),
+                    ),
                     Stmt::Assign("i".into(), Expr::bin(BinOp::Add, Expr::v("i"), Expr::c(1))),
                 ],
             ),
@@ -63,7 +66,7 @@ pub fn tcp_options_program(length: u64) -> Program {
             vec![], // ALLOW: keep the option
             vec![Stmt::If(
                 Expr::bin(BinOp::Eq, Expr::v("opcode"), Expr::c(DROPPED_OPTION)),
-                vec![Stmt::Return(false)], // DROP
+                vec![Stmt::Return(false)],   // DROP
                 nop_fill(Expr::v("opsize")), // STRIP
             )],
         )];

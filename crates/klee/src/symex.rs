@@ -156,7 +156,11 @@ impl SymExecutor {
             })
             .collect();
         let state = PathState {
-            scalars: program.scalars.iter().map(|(n, v)| (n.clone(), SVal::C(*v as i64))).collect(),
+            scalars: program
+                .scalars
+                .iter()
+                .map(|(n, v)| (n.clone(), SVal::C(*v as i64)))
+                .collect(),
             array,
             constraints: Vec::new(),
         };
@@ -215,11 +219,7 @@ impl SymExecutor {
         active.into_iter().map(|s| (s, None)).collect()
     }
 
-    fn exec_stmt(
-        &mut self,
-        stmt: &Stmt,
-        state: PathState,
-    ) -> Vec<(PathState, Option<SymOutcome>)> {
+    fn exec_stmt(&mut self, stmt: &Stmt, state: PathState) -> Vec<(PathState, Option<SymOutcome>)> {
         match stmt {
             Stmt::Return(value) => vec![(state, Some(SymOutcome::Returned(*value)))],
             Stmt::Assign(name, expr) => {
@@ -341,7 +341,13 @@ impl SymExecutor {
         }
     }
 
-    fn apply_bin(&mut self, op: BinOp, l: SVal, r: SVal, state: PathState) -> Vec<(PathState, SVal)> {
+    fn apply_bin(
+        &mut self,
+        op: BinOp,
+        l: SVal,
+        r: SVal,
+        state: PathState,
+    ) -> Vec<(PathState, SVal)> {
         match op {
             BinOp::Add | BinOp::Sub => self.apply_arith(op, l, r, state),
             // Comparisons and logical operators used as values: concretise by
@@ -364,7 +370,13 @@ impl SymExecutor {
         }
     }
 
-    fn apply_arith(&mut self, op: BinOp, l: SVal, r: SVal, state: PathState) -> Vec<(PathState, SVal)> {
+    fn apply_arith(
+        &mut self,
+        op: BinOp,
+        l: SVal,
+        r: SVal,
+        state: PathState,
+    ) -> Vec<(PathState, SVal)> {
         let subtract = op == BinOp::Sub;
         match (l, r) {
             (SVal::C(a), SVal::C(b)) => {
@@ -373,7 +385,13 @@ impl SymExecutor {
             }
             (SVal::S { var, off }, SVal::C(c)) => {
                 let delta = if subtract { -c } else { c };
-                vec![(state, SVal::S { var, off: off + delta })]
+                vec![(
+                    state,
+                    SVal::S {
+                        var,
+                        off: off + delta,
+                    },
+                )]
             }
             (SVal::C(c), SVal::S { var, off }) if !subtract => {
                 vec![(state, SVal::S { var, off: off + c })]
@@ -413,9 +431,7 @@ impl SymExecutor {
     /// operand evaluation itself forks.
     fn eval_cond(&mut self, expr: &Expr, state: PathState) -> Vec<(PathState, Formula)> {
         match expr {
-            Expr::Bin(op, lhs, rhs)
-                if !matches!(op, BinOp::Add | BinOp::Sub) =>
-            {
+            Expr::Bin(op, lhs, rhs) if !matches!(op, BinOp::Add | BinOp::Sub) => {
                 // Logical connectives over sub-conditions.
                 if matches!(op, BinOp::Or | BinOp::And) {
                     let mut out = Vec::new();
@@ -487,10 +503,7 @@ mod tests {
     fn straight_line_code_has_one_path() {
         let prog = Program::new(
             vec![("x", 0)],
-            vec![
-                Stmt::Assign("x".into(), Expr::c(5)),
-                Stmt::Return(true),
-            ],
+            vec![Stmt::Assign("x".into(), Expr::c(5)), Stmt::Return(true)],
         );
         let mut ex = SymExecutor::new(SymConfig::default());
         let report = ex.run_symbolic(&prog, 4);

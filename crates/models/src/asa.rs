@@ -82,13 +82,19 @@ pub fn asa(name: &str, config: &AsaConfig) -> ElementProgram {
             Instruction::allocate_local_meta("asa-new-sport", 16),
             Instruction::allocate_local_meta("asa-dst", 32),
             Instruction::allocate_local_meta("asa-dport", 16),
-            Instruction::assign(FieldRef::meta("asa-orig-src"), Expr::reference(ip_src().field())),
+            Instruction::assign(
+                FieldRef::meta("asa-orig-src"),
+                Expr::reference(ip_src().field()),
+            ),
             Instruction::assign(
                 FieldRef::meta("asa-orig-sport"),
                 Expr::reference(tcp_src().field()),
             ),
             Instruction::assign(FieldRef::meta("asa-dst"), Expr::reference(ip_dst().field())),
-            Instruction::assign(FieldRef::meta("asa-dport"), Expr::reference(tcp_dst().field())),
+            Instruction::assign(
+                FieldRef::meta("asa-dport"),
+                Expr::reference(tcp_dst().field()),
+            ),
             // Dynamic NAT: source becomes the public address with a fresh port.
             Instruction::assign(ip_src().field(), Expr::constant(config.public_ip as u64)),
             Instruction::assign(tcp_src().field(), Expr::symbolic()),
@@ -143,7 +149,10 @@ pub fn asa(name: &str, config: &AsaConfig) -> ElementProgram {
                 Expr::reference(FieldRef::meta("asa-dport")),
             )),
             // Undo the dynamic NAT.
-            Instruction::assign(ip_dst().field(), Expr::reference(FieldRef::meta("asa-orig-src"))),
+            Instruction::assign(
+                ip_dst().field(),
+                Expr::reference(FieldRef::meta("asa-orig-src")),
+            ),
             Instruction::assign(
                 tcp_dst().field(),
                 Expr::reference(FieldRef::meta("asa-orig-sport")),
@@ -200,7 +209,10 @@ mod tests {
             let src = path.state.read_field(&ip_src().field(), "").unwrap();
             assert_eq!(src.value, Value::Concrete(0xc0a80101));
             assert_eq!(
-                path.state.read_meta(&opt_key(option_kind::MPTCP)).unwrap().value,
+                path.state
+                    .read_meta(&opt_key(option_kind::MPTCP))
+                    .unwrap()
+                    .value,
                 Value::Concrete(0),
                 "MPTCP options are removed by the default ASA configuration"
             );
@@ -271,6 +283,10 @@ mod tests {
             Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
         ]);
         let report = engine.inject(a, 0, &http_only);
-        assert_eq!(report.delivered().count(), 0, "ACL must drop non-443 traffic");
+        assert_eq!(
+            report.delivered().count(),
+            0,
+            "ACL must drop non-443 traffic"
+        );
     }
 }

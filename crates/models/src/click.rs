@@ -10,8 +10,8 @@ use symnet_sefl::cond::Condition;
 use symnet_sefl::expr::Expr;
 use symnet_sefl::field::FieldRef;
 use symnet_sefl::fields::{
-    ether_dst, ether_src, ether_type, ethernet_fields, ethertype, ip_dst, ip_src, ip_ttl,
-    tcp_dst, tcp_src, vlan_id, ETHERNET_HEADER_BITS, TAG_L2, TAG_L3,
+    ether_dst, ether_src, ether_type, ethernet_fields, ethertype, ip_dst, ip_src, ip_ttl, tcp_dst,
+    tcp_src, vlan_id, ETHERNET_HEADER_BITS, TAG_L2, TAG_L3,
 };
 use symnet_sefl::{ElementProgram, HeaderAddr, Instruction};
 
@@ -24,9 +24,15 @@ pub fn ip_mirror(name: &str) -> ElementProgram {
         Instruction::assign(ip_src().field(), Expr::reference(ip_dst().field())),
         Instruction::assign(ip_dst().field(), Expr::reference(FieldRef::meta("tmp-ip"))),
         Instruction::allocate_local_meta("tmp-port", 16),
-        Instruction::assign(FieldRef::meta("tmp-port"), Expr::reference(tcp_src().field())),
+        Instruction::assign(
+            FieldRef::meta("tmp-port"),
+            Expr::reference(tcp_src().field()),
+        ),
         Instruction::assign(tcp_src().field(), Expr::reference(tcp_dst().field())),
-        Instruction::assign(tcp_dst().field(), Expr::reference(FieldRef::meta("tmp-port"))),
+        Instruction::assign(
+            tcp_dst().field(),
+            Expr::reference(FieldRef::meta("tmp-port")),
+        ),
         Instruction::forward(0),
     ]))
 }
@@ -216,16 +222,34 @@ mod tests {
         let (report, _) = run_one(ip_mirror("m"), &symbolic_tcp_packet());
         let path = report.delivered().next().unwrap();
         let mut solver = Solver::default();
-        let orig_src = report.injected.read_field(&ip_src().field(), "").unwrap().value;
+        let orig_src = report
+            .injected
+            .read_field(&ip_src().field(), "")
+            .unwrap()
+            .value;
         let new_dst = path.state.read_field(&ip_dst().field(), "").unwrap().value;
         assert_eq!(
-            values_equal(&mut solver, &path.state.path_condition(), &orig_src, &new_dst),
+            values_equal(
+                &mut solver,
+                &path.state.path_condition(),
+                &orig_src,
+                &new_dst
+            ),
             Tristate::Always
         );
-        let orig_sport = report.injected.read_field(&tcp_src().field(), "").unwrap().value;
+        let orig_sport = report
+            .injected
+            .read_field(&tcp_src().field(), "")
+            .unwrap()
+            .value;
         let new_dport = path.state.read_field(&tcp_dst().field(), "").unwrap().value;
         assert_eq!(
-            values_equal(&mut solver, &path.state.path_condition(), &orig_sport, &new_dport),
+            values_equal(
+                &mut solver,
+                &path.state.path_condition(),
+                &orig_sport,
+                &new_dport
+            ),
             Tristate::Always
         );
     }
@@ -303,12 +327,10 @@ mod tests {
         assert_eq!(report.delivered().count(), 2);
         // Port 1 (catch-all) excludes what port 0 matched.
         let path1 = report.delivered_at(id, 1).next().unwrap();
-        let allowed =
-            symnet_core::verify::allowed_values(path1, &tcp_dst().field()).unwrap();
+        let allowed = symnet_core::verify::allowed_values(path1, &tcp_dst().field()).unwrap();
         assert!(!allowed.contains(80));
         let path0 = report.delivered_at(id, 0).next().unwrap();
-        let allowed =
-            symnet_core::verify::allowed_values(path0, &tcp_dst().field()).unwrap();
+        let allowed = symnet_core::verify::allowed_values(path0, &tcp_dst().field()).unwrap();
         assert_eq!(allowed.cardinality(), 1);
     }
 
@@ -343,7 +365,10 @@ mod tests {
         assert_eq!(report.delivered().count(), 1);
         let path = report.delivered().next().unwrap();
         assert_eq!(
-            path.state.read_field(&ether_type().field(), "").unwrap().value,
+            path.state
+                .read_field(&ether_type().field(), "")
+                .unwrap()
+                .value,
             symnet_core::Value::Concrete(ethertype::IPV4)
         );
         // Untagging an untagged frame fails (§8.4 missing VLAN tagging).

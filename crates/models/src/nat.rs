@@ -52,7 +52,10 @@ pub fn nat(name: &str, config: NatConfig) -> ElementProgram {
         Instruction::allocate_local_meta("new-port", 16),
         // Save the initial addressing.
         Instruction::assign(FieldRef::meta("orig-ip"), Expr::reference(ip_src().field())),
-        Instruction::assign(FieldRef::meta("orig-port"), Expr::reference(tcp_src().field())),
+        Instruction::assign(
+            FieldRef::meta("orig-port"),
+            Expr::reference(tcp_src().field()),
+        ),
         // Perform the mapping: concrete public address, symbolic port in range.
         Instruction::assign(ip_src().field(), Expr::constant(config.public_ip as u64)),
         Instruction::assign(tcp_src().field(), Expr::symbolic()),
@@ -60,7 +63,10 @@ pub fn nat(name: &str, config: NatConfig) -> ElementProgram {
         Instruction::constrain(Condition::le(tcp_src().field(), config.port_high as u64)),
         // Save the assigned addressing.
         Instruction::assign(FieldRef::meta("new-ip"), Expr::reference(ip_src().field())),
-        Instruction::assign(FieldRef::meta("new-port"), Expr::reference(tcp_src().field())),
+        Instruction::assign(
+            FieldRef::meta("new-port"),
+            Expr::reference(tcp_src().field()),
+        ),
         Instruction::forward(0),
     ]);
     let inbound = Instruction::block(vec![
@@ -101,8 +107,14 @@ pub fn stateful_firewall(name: &str) -> ElementProgram {
         Instruction::allocate_local_meta("fw-dport", 16),
         Instruction::assign(FieldRef::meta("fw-src"), Expr::reference(ip_src().field())),
         Instruction::assign(FieldRef::meta("fw-dst"), Expr::reference(ip_dst().field())),
-        Instruction::assign(FieldRef::meta("fw-sport"), Expr::reference(tcp_src().field())),
-        Instruction::assign(FieldRef::meta("fw-dport"), Expr::reference(tcp_dst().field())),
+        Instruction::assign(
+            FieldRef::meta("fw-sport"),
+            Expr::reference(tcp_src().field()),
+        ),
+        Instruction::assign(
+            FieldRef::meta("fw-dport"),
+            Expr::reference(tcp_dst().field()),
+        ),
         Instruction::forward(0),
     ]);
     let inbound = Instruction::block(vec![
@@ -139,16 +151,25 @@ pub fn seq_randomizing_firewall(name: &str) -> ElementProgram {
         Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
         Instruction::allocate_local_meta("orig-seq", 32),
         Instruction::allocate_local_meta("new-seq", 32),
-        Instruction::assign(FieldRef::meta("orig-seq"), Expr::reference(tcp_seq().field())),
+        Instruction::assign(
+            FieldRef::meta("orig-seq"),
+            Expr::reference(tcp_seq().field()),
+        ),
         Instruction::assign(tcp_seq().field(), Expr::symbolic()),
-        Instruction::assign(FieldRef::meta("new-seq"), Expr::reference(tcp_seq().field())),
+        Instruction::assign(
+            FieldRef::meta("new-seq"),
+            Expr::reference(tcp_seq().field()),
+        ),
         Instruction::forward(0),
     ]);
     let inbound = Instruction::block(vec![
         Instruction::constrain(Condition::eq(ip_proto().field(), ipproto::TCP)),
         // The peer acknowledges the randomised sequence number; restore the
         // original before handing the packet back to the inside host.
-        Instruction::assign(tcp_seq().field(), Expr::reference(FieldRef::meta("orig-seq"))),
+        Instruction::assign(
+            tcp_seq().field(),
+            Expr::reference(FieldRef::meta("orig-seq")),
+        ),
         Instruction::forward(1),
     ]);
     ElementProgram::new(name, 2, 2)
@@ -196,8 +217,7 @@ mod tests {
         let src = path.state.read_field(&ip_src().field(), "").unwrap();
         assert_eq!(src.value, Value::Concrete(0xc0a80101));
         // Source port is symbolic but constrained to the NAT range.
-        let ports =
-            symnet_core::verify::allowed_values(path, &tcp_src().field()).unwrap();
+        let ports = symnet_core::verify::allowed_values(path, &tcp_src().field()).unwrap();
         assert_eq!(ports.min(), Some(1024));
         assert_eq!(ports.max(), Some(65535));
         // The destination is untouched.

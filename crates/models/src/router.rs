@@ -296,10 +296,7 @@ pub fn router_egress_with_ttl(name: &str, fib: &Fib) -> ElementProgram {
     let mut program = ElementProgram::new(name, fib.port_count, fib.port_count)
         .with_any_input_code(Instruction::block(vec![
             Instruction::constrain(Condition::ge(ip_ttl().field(), 1u64)),
-            Instruction::assign(
-                ip_ttl().field(),
-                Expr::reference(ip_ttl().field()).minus(1),
-            ),
+            Instruction::assign(ip_ttl().field(), Expr::reference(ip_ttl().field()).minus(1)),
             Instruction::fork(ports),
         ]));
     for (port, cond) in fib.port_conditions() {
@@ -326,7 +323,9 @@ mod tests {
         fib
     }
 
-    fn run(program: ElementProgram) -> (symnet_core::engine::ExecutionReport, symnet_core::ElementId) {
+    fn run(
+        program: ElementProgram,
+    ) -> (symnet_core::engine::ExecutionReport, symnet_core::ElementId) {
         let mut net = Network::new();
         let id = net.add_element(program);
         let engine = SymNet::new(net);
@@ -415,11 +414,12 @@ mod tests {
         let b = Fib::synthetic(500, 4);
         assert_eq!(a, b);
         assert_eq!(a.len(), 500);
-        let overlaps = a
-            .entries
-            .iter()
-            .enumerate()
-            .any(|(i, e)| a.entries.iter().skip(i + 1).any(|o| e.covers(o) || o.covers(e)));
+        let overlaps = a.entries.iter().enumerate().any(|(i, e)| {
+            a.entries
+                .iter()
+                .skip(i + 1)
+                .any(|o| e.covers(o) || o.covers(e))
+        });
         assert!(overlaps, "synthetic FIB must contain nested prefixes");
         assert!(a.total_prefix_checks() >= a.len());
     }

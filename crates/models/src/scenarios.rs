@@ -103,7 +103,10 @@ pub fn split_tcp(config: SplitTcpConfig) -> (Network, SplitTcpTopology) {
     if config.dhcp_security_check {
         client_code.extend([
             Instruction::allocate_meta("origEther", 48),
-            Instruction::assign(FieldRef::meta("origEther"), Expr::reference(ether_src().field())),
+            Instruction::assign(
+                FieldRef::meta("origEther"),
+                Expr::reference(ether_src().field()),
+            ),
             Instruction::allocate_meta("origIP", 32),
             Instruction::assign(FieldRef::meta("origIP"), Expr::reference(ip_src().field())),
         ]);
@@ -123,7 +126,10 @@ pub fn split_tcp(config: SplitTcpConfig) -> (Network, SplitTcpTopology) {
             symnet_sefl::fields::ip_length().field(),
             1536u64,
         )),
-        Instruction::assign(symnet_sefl::fields::ether_dst().field(), Expr::constant(PROXY_MAC)),
+        Instruction::assign(
+            symnet_sefl::fields::ether_dst().field(),
+            Expr::constant(PROXY_MAC),
+        ),
         Instruction::forward(0),
     ]);
     let r1_from_proxy = Instruction::block(vec![
@@ -154,7 +160,9 @@ pub fn split_tcp(config: SplitTcpConfig) -> (Network, SplitTcpTopology) {
             symnet_sefl::fields::ether_type().field(),
             Expr::reference(FieldRef::meta("orig-ethertype")),
         ));
-        proxy_code.push(Instruction::deallocate(symnet_sefl::fields::vlan_id().field()));
+        proxy_code.push(Instruction::deallocate(
+            symnet_sefl::fields::vlan_id().field(),
+        ));
         proxy_code.push(Instruction::deallocate(FieldRef::meta("orig-ethertype")));
     }
     proxy_code.push(Instruction::assign(
@@ -359,16 +367,16 @@ pub fn department(config: DepartmentConfig) -> (Network, DepartmentTopology) {
 
     // Cluster switch and the management sink ("hole" / switch management
     // interfaces).
-    let cluster = net.add_element(
-        ElementProgram::new("cluster", 1, 1).with_any_input_code(Instruction::block(vec![
+    let cluster = net.add_element(ElementProgram::new("cluster", 1, 1).with_any_input_code(
+        Instruction::block(vec![
             Instruction::constrain(Condition::matches_ipv4_prefix(
                 ip_dst().field(),
                 MANAGEMENT_PREFIX as u64,
                 24,
             )),
             Instruction::forward(0),
-        ])),
-    );
+        ]),
+    ));
     let management = net.add_element(sink("management"));
 
     // Wiring. Hosts inject at an access switch input port 0.
@@ -614,7 +622,9 @@ mod tests {
             // removed (§8.5's surprise finding).
             assert_eq!(
                 path.state
-                    .read_meta(&crate::tcp_options::opt_key(crate::tcp_options::option_kind::MPTCP))
+                    .read_meta(&crate::tcp_options::opt_key(
+                        crate::tcp_options::option_kind::MPTCP
+                    ))
                     .map(|s| s.value),
                 Ok(symnet_core::Value::Concrete(0))
             );

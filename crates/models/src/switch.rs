@@ -130,11 +130,7 @@ pub fn switch_ingress(name: &str, table: &MacTable) -> ElementProgram {
     let mut code = Instruction::fail("Mac unknown");
     for port in table.ports_in_use().into_iter().rev() {
         let macs = table.macs_for_port(port);
-        code = Instruction::if_else(
-            macs_condition(&macs),
-            Instruction::forward(port),
-            code,
-        );
+        code = Instruction::if_else(macs_condition(&macs), Instruction::forward(port), code);
     }
     ElementProgram::new(name, table.port_count, table.port_count).with_any_input_code(code)
 }
@@ -197,7 +193,9 @@ mod tests {
         t
     }
 
-    fn run(program: ElementProgram) -> (symnet_core::engine::ExecutionReport, symnet_core::ElementId) {
+    fn run(
+        program: ElementProgram,
+    ) -> (symnet_core::engine::ExecutionReport, symnet_core::ElementId) {
         let mut net = Network::new();
         let id = net.add_element(program);
         let engine = SymNet::new(net);
@@ -243,16 +241,14 @@ mod tests {
         let (report, id) = run(switch_egress("sw", &table));
         // Port 0 admits exactly MACs 1 and 2.
         let path = report.delivered_at(id, 0).next().unwrap();
-        let allowed =
-            symnet_core::verify::allowed_values(path, &ether_dst().field()).unwrap();
+        let allowed = symnet_core::verify::allowed_values(path, &ether_dst().field()).unwrap();
         assert_eq!(allowed.cardinality(), 2);
         assert!(allowed.contains(1));
         assert!(allowed.contains(2));
         assert!(!allowed.contains(3));
         // Port 2 admits only MAC 4.
         let path = report.delivered_at(id, 2).next().unwrap();
-        let allowed =
-            symnet_core::verify::allowed_values(path, &ether_dst().field()).unwrap();
+        let allowed = symnet_core::verify::allowed_values(path, &ether_dst().field()).unwrap();
         assert_eq!(allowed.cardinality(), 1);
         assert!(allowed.contains(4));
     }

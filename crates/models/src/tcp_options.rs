@@ -73,7 +73,10 @@ pub fn symbolic_options_metadata() -> Instruction {
         let size = size_key(kind);
         let val = val_key(kind);
         code.push(Instruction::allocate_meta(opt.clone(), 8));
-        code.push(Instruction::assign(FieldRef::meta(opt.clone()), Expr::symbolic()));
+        code.push(Instruction::assign(
+            FieldRef::meta(opt.clone()),
+            Expr::symbolic(),
+        ));
         code.push(Instruction::constrain(Condition::le(
             FieldRef::meta(opt),
             1u64,
@@ -131,7 +134,10 @@ pub fn asa_options_code(config: &AsaOptionsConfig) -> Instruction {
     if config.strip_sackok_for_http {
         code.push(Instruction::if_then(
             Condition::eq(tcp_dst().field(), 80u64),
-            Instruction::assign(FieldRef::meta(opt_key(option_kind::SACK_OK)), Expr::constant(0)),
+            Instruction::assign(
+                FieldRef::meta(opt_key(option_kind::SACK_OK)),
+                Expr::constant(0),
+            ),
         ));
     }
     // The MSS option is always present after the ASA (it adds one if missing)
@@ -175,7 +181,10 @@ mod tests {
         Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()])
     }
 
-    fn run(config: &AsaOptionsConfig, packet: &Instruction) -> symnet_core::engine::ExecutionReport {
+    fn run(
+        config: &AsaOptionsConfig,
+        packet: &Instruction,
+    ) -> symnet_core::engine::ExecutionReport {
         let mut net = Network::new();
         let id = net.add_element(asa_options_filter("asa-options", config));
         let engine = SymNet::new(net);
@@ -196,7 +205,10 @@ mod tests {
         assert!(report.delivered().count() >= 1);
         for path in report.delivered() {
             assert_eq!(
-                path.state.read_meta(&opt_key(option_kind::MPTCP)).unwrap().value,
+                path.state
+                    .read_meta(&opt_key(option_kind::MPTCP))
+                    .unwrap()
+                    .value,
                 Value::Concrete(0),
                 "MPTCP must be stripped"
             );
@@ -209,7 +221,10 @@ mod tests {
                 "unknown options must be stripped"
             );
             assert_eq!(
-                path.state.read_meta(&opt_key(option_kind::SACK)).unwrap().value,
+                path.state
+                    .read_meta(&opt_key(option_kind::SACK))
+                    .unwrap()
+                    .value,
                 Value::Concrete(0),
                 "SACK blocks are not in the allowed set"
             );
@@ -221,7 +236,10 @@ mod tests {
         let report = run(&AsaOptionsConfig::default(), &options_packet());
         for path in report.delivered() {
             assert_eq!(
-                path.state.read_meta(&opt_key(option_kind::MSS)).unwrap().value,
+                path.state
+                    .read_meta(&opt_key(option_kind::MSS))
+                    .unwrap()
+                    .value,
                 Value::Concrete(1),
                 "MSS is always present after the ASA"
             );
@@ -235,7 +253,10 @@ mod tests {
         let http_packet = Instruction::block(vec![
             options_packet(),
             Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
-            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::SACK_OK)), 1u64)),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::SACK_OK)),
+                1u64,
+            )),
         ]);
         let report = run(&AsaOptionsConfig::default(), &http_packet);
         for path in report.delivered() {
@@ -252,7 +273,10 @@ mod tests {
         let ssh_packet = Instruction::block(vec![
             options_packet(),
             Instruction::constrain(Condition::eq(tcp_dst().field(), 22u64)),
-            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::SACK_OK)), 1u64)),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::SACK_OK)),
+                1u64,
+            )),
         ]);
         let report = run(&AsaOptionsConfig::default(), &ssh_packet);
         assert!(report.delivered().any(|path| {
@@ -271,9 +295,18 @@ mod tests {
         let all_on = Instruction::block(vec![
             options_packet(),
             Instruction::constrain(Condition::ne(tcp_dst().field(), 80u64)),
-            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::MSS)), 1u64)),
-            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::WSCALE)), 1u64)),
-            Instruction::constrain(Condition::eq(FieldRef::meta(opt_key(option_kind::SACK_OK)), 1u64)),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::MSS)),
+                1u64,
+            )),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::WSCALE)),
+                1u64,
+            )),
+            Instruction::constrain(Condition::eq(
+                FieldRef::meta(opt_key(option_kind::SACK_OK)),
+                1u64,
+            )),
             Instruction::constrain(Condition::eq(
                 FieldRef::meta(opt_key(option_kind::TIMESTAMP)),
                 1u64,

@@ -137,12 +137,12 @@ mod tests {
         let mut net = Network::new();
         let e = net.add_element(ipip_encap("E1", 0x0a000001, 0x0a000002));
         let d = net.add_element(ipip_decap("D1", 0x0a000002));
-        let probe = net.add_element(
-            ElementProgram::new("probe", 1, 1).with_any_input_code(Instruction::block(vec![
+        let probe = net.add_element(ElementProgram::new("probe", 1, 1).with_any_input_code(
+            Instruction::block(vec![
                 Instruction::constrain(Condition::ge(tcp_dst().field(), 0u64)),
                 Instruction::forward(0),
-            ])),
-        );
+            ]),
+        ));
         net.add_link(e, 0, d, 0);
         net.add_link(d, 0, probe, 0);
         let engine = SymNet::new(net);
@@ -164,12 +164,12 @@ mod tests {
         // A middle box that reads TCP fields between encap and decap fails.
         let mut net = Network::new();
         let e = net.add_element(ipip_encap("E1", 1, 2));
-        let snoop = net.add_element(
-            ElementProgram::new("snoop", 1, 1).with_any_input_code(Instruction::block(vec![
+        let snoop = net.add_element(ElementProgram::new("snoop", 1, 1).with_any_input_code(
+            Instruction::block(vec![
                 Instruction::constrain(Condition::eq(tcp_dst().field(), 80u64)),
                 Instruction::forward(0),
-            ])),
-        );
+            ]),
+        ));
         net.add_link(e, 0, snoop, 0);
         let engine = SymNet::new(net);
         let report = engine.inject(e, 0, &symbolic_l3_tcp_packet());
@@ -208,8 +208,7 @@ mod tests {
         let report = engine.inject(e, 0, &symbolic_l3_tcp_packet());
         assert_eq!(report.delivered().count(), 1);
         let path = report.delivered().next().unwrap();
-        let allowed =
-            symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
+        let allowed = symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
         assert_eq!(allowed.max(), Some(1515));
     }
 
@@ -220,8 +219,7 @@ mod tests {
         let engine = SymNet::new(net);
         let report = engine.inject(m, 0, &symbolic_l3_tcp_packet());
         let path = report.delivered().next().unwrap();
-        let allowed =
-            symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
+        let allowed = symnet_core::verify::allowed_values(path, &ip_length().field()).unwrap();
         assert_eq!(allowed.max(), Some(1535));
     }
 

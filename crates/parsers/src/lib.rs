@@ -30,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use symnet_core::network::Network;
-use symnet_models::{switch::switch_egress, router::router_egress, Fib, MacTable};
+use symnet_models::{router::router_egress, switch::switch_egress, Fib, MacTable};
 use symnet_sefl::{ip_to_number, mac_to_number};
 
 /// An error produced while parsing a configuration file.
@@ -74,7 +74,10 @@ pub fn parse_mac_table(text: &str) -> Result<MacTable, ParseError> {
         let mac = mac_to_number(parts[0]).ok_or_else(|| err(i + 1, "invalid MAC address"))?;
         let vlan = match parts[1] {
             "-" => None,
-            v => Some(v.parse::<u64>().map_err(|_| err(i + 1, "invalid VLAN id"))?),
+            v => Some(
+                v.parse::<u64>()
+                    .map_err(|_| err(i + 1, "invalid VLAN id"))?,
+            ),
         };
         let port: usize = parts[2]
             .parse()

@@ -128,7 +128,11 @@ impl Condition {
     }
 
     /// Longest-prefix match on an IPv4 destination-style 32-bit field.
-    pub fn matches_ipv4_prefix(field: impl Into<FieldRef>, prefix: u64, prefix_len: u8) -> Condition {
+    pub fn matches_ipv4_prefix(
+        field: impl Into<FieldRef>,
+        prefix: u64,
+        prefix_len: u8,
+    ) -> Condition {
         Condition::Match {
             field: field.into(),
             value: prefix,
@@ -189,6 +193,8 @@ impl Condition {
     }
 
     /// Negation with folding of comparisons and double negations.
+    /// (An associated constructor mirroring SEFL's `Not(...)`, not `std::ops::Not`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(cond: Condition) -> Condition {
         match cond {
             Condition::True => Condition::False,
@@ -271,7 +277,14 @@ mod tests {
 
     #[test]
     fn relop_negation_is_involutive() {
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -300,7 +313,10 @@ mod tests {
             Condition::and(vec![a.clone(), Condition::False]),
             Condition::False
         );
-        assert_eq!(Condition::or(vec![Condition::True, a.clone()]), Condition::True);
+        assert_eq!(
+            Condition::or(vec![Condition::True, a.clone()]),
+            Condition::True
+        );
     }
 
     #[test]

@@ -53,17 +53,22 @@ impl Expr {
         Expr::Symbolic { width: Some(width) }
     }
 
-    /// `self + other`.
+    /// `self + other`. (A builder method mirroring SEFL syntax; SEFL
+    /// expressions deliberately do not implement the `std::ops` traits, whose
+    /// `Output` machinery would obscure the tiny DSL.)
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Self {
         Expr::Add(Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Self {
         Expr::Sub(Box::new(self), Box::new(other))
     }
 
     /// `-self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Self {
         Expr::Neg(Box::new(self))
     }

@@ -171,8 +171,14 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(HeaderAddr::tag_offset("L3", 96).to_string(), "Tag(\"L3\")+96");
-        assert_eq!(HeaderAddr::tag_offset("L4", -160).to_string(), "Tag(\"L4\")-160");
+        assert_eq!(
+            HeaderAddr::tag_offset("L3", 96).to_string(),
+            "Tag(\"L3\")+96"
+        );
+        assert_eq!(
+            HeaderAddr::tag_offset("L4", -160).to_string(),
+            "Tag(\"L4\")-160"
+        );
         assert_eq!(HeaderAddr::tag("L2").to_string(), "Tag(\"L2\")");
         assert_eq!(FieldRef::meta("orig-ip").to_string(), "\"orig-ip\"");
     }

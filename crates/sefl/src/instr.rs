@@ -170,7 +170,11 @@ impl Instruction {
     }
 
     /// An `If` with both branches.
-    pub fn if_else(cond: Condition, then_branch: Instruction, else_branch: Instruction) -> Instruction {
+    pub fn if_else(
+        cond: Condition,
+        then_branch: Instruction,
+        else_branch: Instruction,
+    ) -> Instruction {
         Instruction::If {
             cond,
             then_branch: Box::new(then_branch),
@@ -255,7 +259,11 @@ impl Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Instruction::Allocate { field, width, visibility } => match width {
+            Instruction::Allocate {
+                field,
+                width,
+                visibility,
+            } => match width {
                 Some(w) => match visibility {
                     Visibility::Local => write!(f, "Allocate({field},{w},local)"),
                     Visibility::Global => write!(f, "Allocate({field},{w})"),
@@ -356,7 +364,11 @@ mod tests {
         let ingress = Instruction::if_else(
             Condition::True,
             Instruction::forward(0),
-            Instruction::if_else(Condition::True, Instruction::forward(1), Instruction::fail("unknown")),
+            Instruction::if_else(
+                Condition::True,
+                Instruction::forward(1),
+                Instruction::fail("unknown"),
+            ),
         );
         assert_eq!(ingress.max_branching(), 3);
     }

@@ -67,7 +67,7 @@ pub fn ip_to_number(ip: &str) -> Option<u64> {
 /// Parses a colon-separated MAC address (`aa:bb:cc:dd:ee:ff`) into its 48-bit
 /// numeric value.
 pub fn mac_to_number(mac: &str) -> Option<u64> {
-    let mut parts = mac.split(|c| c == ':' || c == '-');
+    let mut parts = mac.split([':', '-']);
     let mut out: u64 = 0;
     for _ in 0..6 {
         let byte = u64::from_str_radix(parts.next()?.trim(), 16).ok()?;

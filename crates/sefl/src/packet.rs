@@ -47,7 +47,8 @@ impl PacketBuilder {
             } else {
                 Expr::symbolic()
             };
-            self.instructions.push(Instruction::assign(f.field(), value));
+            self.instructions
+                .push(Instruction::assign(f.field(), value));
         }
         self.end_offset = self.end_offset.max(ETHERNET_HEADER_BITS);
         self
@@ -74,7 +75,8 @@ impl PacketBuilder {
             } else {
                 Expr::symbolic()
             };
-            self.instructions.push(Instruction::assign(f.field(), value));
+            self.instructions
+                .push(Instruction::assign(f.field(), value));
         }
         self.end_offset += IPV4_HEADER_BITS;
         self
@@ -217,22 +219,25 @@ mod tests {
     #[test]
     fn ip_packet_has_no_l4_tag() {
         let pkt = symbolic_ip_packet();
-        let l4_tags = count_kind(&pkt, &|i| {
-            matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L4)
-        });
+        let l4_tags = count_kind(
+            &pkt,
+            &|i| matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L4),
+        );
         assert_eq!(l4_tags, 0);
     }
 
     #[test]
     fn l3_packet_skips_ethernet() {
         let pkt = symbolic_l3_tcp_packet();
-        let l2_tags = count_kind(&pkt, &|i| {
-            matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L2)
-        });
+        let l2_tags = count_kind(
+            &pkt,
+            &|i| matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L2),
+        );
         assert_eq!(l2_tags, 0);
-        let l3_tags = count_kind(&pkt, &|i| {
-            matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L3)
-        });
+        let l3_tags = count_kind(
+            &pkt,
+            &|i| matches!(i, Instruction::CreateTag { name, .. } if name == TAG_L3),
+        );
         assert_eq!(l3_tags, 1);
     }
 

@@ -128,7 +128,10 @@ pub fn to_cubes(formula: &Formula, max_cubes: usize) -> Result<Vec<Cube>, CubeOv
         _ => {}
     }
     let cubes = build(formula, max_cubes)?;
-    Ok(cubes.into_iter().filter(|c| !c.is_contradictory()).collect())
+    Ok(cubes
+        .into_iter()
+        .filter(|c| !c.is_contradictory())
+        .collect())
 }
 
 fn build(formula: &Formula, max_cubes: usize) -> Result<Vec<Cube>, CubeOverflow> {
@@ -313,10 +316,7 @@ pub fn eval_single_var(formula: &Formula, var: SymVar) -> IntervalSet {
             (Term::Const(c), Term::Var { offset, .. }) => {
                 cmp_to_set(op.swap(), var, c - offset).intersect(&full)
             }
-            (
-                Term::Var { offset: oa, .. },
-                Term::Var { offset: ob, .. },
-            ) => {
+            (Term::Var { offset: oa, .. }, Term::Var { offset: ob, .. }) => {
                 // Both sides are the same variable (the caller guarantees only
                 // one variable occurs), so the comparison is constant.
                 if op.eval(*oa, *ob) {
@@ -407,7 +407,9 @@ mod tests {
     #[test]
     fn single_var_or_is_one_cube() {
         let x = v(0, 48);
-        let macs: Vec<Formula> = (0..10_000u64).map(|m| Formula::eq_const(x, m * 7)).collect();
+        let macs: Vec<Formula> = (0..10_000u64)
+            .map(|m| Formula::eq_const(x, m * 7))
+            .collect();
         let f = Formula::or(macs);
         let cubes = to_cubes(&f, 4).unwrap();
         assert_eq!(cubes.len(), 1);

@@ -190,6 +190,9 @@ impl Formula {
     }
 
     /// Negation with constant folding and double-negation elimination.
+    /// (Deliberately an associated constructor, not `std::ops::Not`: it takes
+    /// the formula by value and mirrors the paper's `Not(...)` syntax.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -253,8 +256,8 @@ impl Formula {
             Formula::True => Some(true),
             Formula::False => Some(false),
             Formula::Cmp { op, lhs, rhs } => {
-                let l = lhs.eval(|v| lookup(v))?;
-                let r = rhs.eval(|v| lookup(v))?;
+                let l = lhs.eval(lookup)?;
+                let r = rhs.eval(lookup)?;
                 Some(op.eval(l, r))
             }
             Formula::PrefixMatch {
@@ -343,7 +346,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
         assert_eq!(CmpOp::Lt.swap(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.swap(), CmpOp::Eq);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -374,10 +384,7 @@ mod tests {
     #[test]
     fn not_pushes_into_comparisons() {
         let a = Formula::cmp_const(CmpOp::Lt, v(0, 8), 10);
-        assert_eq!(
-            Formula::not(a),
-            Formula::cmp_const(CmpOp::Ge, v(0, 8), 10)
-        );
+        assert_eq!(Formula::not(a), Formula::cmp_const(CmpOp::Ge, v(0, 8), 10));
         let b = Formula::or(vec![
             Formula::eq_const(v(0, 8), 1),
             Formula::eq_const(v(1, 8), 2),
@@ -443,10 +450,7 @@ mod tests {
     #[test]
     fn display_round_trips_structure() {
         let x = v(0, 16);
-        let f = Formula::or(vec![
-            Formula::eq_const(x, 80),
-            Formula::eq_const(x, 443),
-        ]);
+        let f = Formula::or(vec![Formula::eq_const(x, 80), Formula::eq_const(x, 443)]);
         let s = f.to_string();
         assert!(s.contains("=="));
         assert!(s.contains('|'));

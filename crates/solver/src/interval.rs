@@ -332,7 +332,10 @@ mod tests {
             vec![(0, 1), (4, 5), (9, 10)]
         );
         assert_eq!(
-            IntervalSet::empty().complement(0, 3).iter_ranges().collect::<Vec<_>>(),
+            IntervalSet::empty()
+                .complement(0, 3)
+                .iter_ranges()
+                .collect::<Vec<_>>(),
             vec![(0, 3)]
         );
         let full = IntervalSet::range(0, 10);

@@ -100,6 +100,14 @@ impl Solver {
         self.stats.reset();
     }
 
+    /// Consumes the solver, returning its accumulated statistics. This is the
+    /// natural end of a per-worker solver's life in parallel exploration: each
+    /// worker owns a `Solver`, and the engine merges the returned records into
+    /// the run's totals (see [`SolverStats::merge`]).
+    pub fn into_stats(self) -> SolverStats {
+        self.stats
+    }
+
     /// Decides satisfiability of `formula`.
     pub fn check(&mut self, formula: &Formula) -> SolverResult {
         let start = Instant::now();
@@ -216,12 +224,8 @@ impl Solver {
     /// Runs the propagation phase (union-find, domain intersection, bound
     /// propagation, disequality pruning) of [`Self::solve_cube`] and returns
     /// the per-root domains, or `None` if the cube is contradictory.
-    fn propagate_cube(
-        &self,
-        cube: &Cube,
-    ) -> Option<(UnionFind, BTreeMap<SymVar, IntervalSet>)> {
-        self.analyze_cube(cube)
-            .map(|a| (a.uf, a.domains))
+    fn propagate_cube(&self, cube: &Cube) -> Option<(UnionFind, BTreeMap<SymVar, IntervalSet>)> {
+        self.analyze_cube(cube).map(|a| (a.uf, a.domains))
     }
 
     /// Decides a single cube, returning a verified witness if it is
@@ -240,7 +244,7 @@ impl Solver {
         }
         // 1. Merge equalities with an offset-carrying union-find.
         let mut uf = UnionFind::default();
-        let mut orderings: Vec<(CmpOp, (SymVar, i128), (SymVar, i128))> = Vec::new();
+        let mut orderings: Vec<OrderingLit> = Vec::new();
         let mut disequalities: Vec<((SymVar, i128), (SymVar, i128))> = Vec::new();
         for lit in &cube.cross {
             let Literal::Cross { op, lhs, rhs } = lit else {
@@ -290,7 +294,7 @@ impl Solver {
         }
 
         // 3. Bound propagation for ordering constraints, rewritten over roots.
-        let root_orderings: Vec<(CmpOp, (SymVar, i128), (SymVar, i128))> = orderings
+        let root_orderings: Vec<OrderingLit> = orderings
             .iter()
             .filter_map(|(op, lhs, rhs)| {
                 let (lr, ld) = uf.find(lhs.0);
@@ -454,7 +458,12 @@ impl Solver {
             let assignment: BTreeMap<SymVar, i128> = roots
                 .iter()
                 .zip(indices.iter())
-                .map(|(r, &i)| (*r, candidates[roots.iter().position(|x| x == r).unwrap()][i]))
+                .map(|(r, &i)| {
+                    (
+                        *r,
+                        candidates[roots.iter().position(|x| x == r).unwrap()][i],
+                    )
+                })
                 .collect();
             if check(&assignment) {
                 // Expand to every original variable and verify width bounds.
@@ -490,6 +499,9 @@ impl Solver {
     }
 }
 
+/// An ordering literal rewritten over terms: `lhs.0 + lhs.1  op  rhs.0 + rhs.1`.
+type OrderingLit = (CmpOp, (SymVar, i128), (SymVar, i128));
+
 /// Result of the propagation phase on one cube.
 struct CubeAnalysis {
     /// Equality classes (offset-carrying union-find).
@@ -497,7 +509,7 @@ struct CubeAnalysis {
     /// Value domain per equivalence-class root.
     domains: BTreeMap<SymVar, IntervalSet>,
     /// Ordering literals rewritten over roots.
-    root_orderings: Vec<(CmpOp, (SymVar, i128), (SymVar, i128))>,
+    root_orderings: Vec<OrderingLit>,
     /// Disequality literals rewritten over roots.
     root_disequalities: Vec<((SymVar, i128), (SymVar, i128))>,
     /// Every variable mentioned by the cube.
@@ -657,10 +669,11 @@ mod tests {
                 .map(|m| Formula::eq_const(mac, m * 3 + 1))
                 .collect(),
         );
-        let with_filter = Formula::and(vec![f.clone(), Formula::cmp_const(CmpOp::Ge, mac, 299_990)]);
+        let with_filter =
+            Formula::and(vec![f.clone(), Formula::cmp_const(CmpOp::Ge, mac, 299_990)]);
         let m = s.model(&with_filter).unwrap();
         let val = m.value(mac.id).unwrap();
-        assert!(val >= 299_990 && (val - 1) % 3 == 0);
+        assert!(val >= 299_990 && (val - 1).is_multiple_of(3));
         // Excluding every member is unsat.
         let excluded = Formula::and(vec![f, Formula::cmp_const(CmpOp::Gt, mac, 300_000)]);
         assert!(s.is_unsat(&excluded));

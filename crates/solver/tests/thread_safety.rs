@@ -1,0 +1,127 @@
+//! Solver thread-safety: the engine gives each worker thread its own
+//! [`Solver`] and merges the per-worker [`SolverStats`] at the end of a run.
+//! These tests pin down the contract that makes that sound: `Solver` is
+//! `Send + Sync`, answers are identical no matter which thread asks, and
+//! merged per-worker statistics equal the totals of an equivalent sequential
+//! run.
+
+use std::sync::Mutex;
+use symnet_solver::{CmpOp, Formula, Solver, SolverStats, SymVar, Term};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn solver_types_are_send_and_sync() {
+    assert_send_sync::<Solver>();
+    assert_send_sync::<SolverStats>();
+    assert_send_sync::<Formula>();
+}
+
+/// A deterministic batch of mixed sat/unsat/cross-variable queries.
+fn query_batch(salt: u64) -> Vec<Formula> {
+    let x = SymVar::new(0, 16);
+    let y = SymVar::new(1, 16);
+    (0..20u64)
+        .map(|i| {
+            let k = salt.wrapping_add(i) % 7;
+            match k {
+                0 => Formula::eq_const(x, i),
+                1 => Formula::and(vec![Formula::eq_const(x, i), Formula::eq_const(x, i + 1)]),
+                2 => Formula::and(vec![
+                    Formula::cmp_const(CmpOp::Ge, x, 100),
+                    Formula::cmp_const(CmpOp::Lt, x, 100 + i),
+                ]),
+                3 => Formula::cmp(CmpOp::Eq, Term::var(y), Term::var(x).plus(i as i128)),
+                4 => Formula::prefix_match(x, 0x1200, 8),
+                5 => Formula::or(vec![Formula::eq_const(x, i), Formula::eq_const(y, i)]),
+                _ => Formula::not(Formula::eq_const(x, i)),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn per_thread_solvers_agree_with_sequential_answers() {
+    // Sequential reference: one solver answers every batch.
+    let mut reference = Solver::default();
+    let batches: Vec<Vec<Formula>> = (0..8u64).map(query_batch).collect();
+    let expected: Vec<Vec<bool>> = batches
+        .iter()
+        .map(|batch| batch.iter().map(|f| reference.is_sat(f)).collect())
+        .collect();
+
+    // Concurrent: one worker per batch, each with its own solver.
+    let answers: Vec<(usize, Vec<bool>, SolverStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, batch)| {
+                scope.spawn(move || {
+                    let mut solver = Solver::default();
+                    let answers = batch.iter().map(|f| solver.is_sat(f)).collect();
+                    (i, answers, solver.into_stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Answers are identical regardless of the thread that computed them.
+    for (i, got, _) in &answers {
+        assert_eq!(got, &expected[*i], "batch {i} diverged across threads");
+    }
+
+    // Merged per-worker stats equal the sequential run's totals (modulo wall
+    // time, which is the only nondeterministic counter).
+    let mut merged = SolverStats::default();
+    for (_, _, stats) in &answers {
+        merged.merge(stats);
+    }
+    let seq = reference.stats();
+    assert_eq!(merged.calls, seq.calls);
+    assert_eq!(merged.sat, seq.sat);
+    assert_eq!(merged.unsat, seq.unsat);
+    assert_eq!(merged.unknown, seq.unknown);
+    assert_eq!(merged.cubes_examined, seq.cubes_examined);
+}
+
+#[test]
+fn shared_solver_behind_a_mutex_is_usable_from_many_threads() {
+    let solver = Mutex::new(Solver::default());
+    let x = SymVar::new(0, 32);
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let solver = &solver;
+            scope.spawn(move || {
+                for i in 0..16u64 {
+                    let f = Formula::and(vec![
+                        Formula::cmp_const(CmpOp::Ge, x, t * 100),
+                        Formula::eq_const(x, t * 100 + i),
+                    ]);
+                    assert!(solver.lock().unwrap().is_sat(&f));
+                }
+            });
+        }
+    });
+    assert_eq!(solver.into_inner().unwrap().stats().calls, 8 * 16);
+}
+
+#[test]
+fn into_stats_and_merge_fold_worker_counters() {
+    let mut a = Solver::default();
+    let mut b = Solver::default();
+    let x = SymVar::new(0, 8);
+    a.is_sat(&Formula::eq_const(x, 1));
+    b.is_unsat(&Formula::and(vec![
+        Formula::eq_const(x, 1),
+        Formula::eq_const(x, 2),
+    ]));
+    let mut totals = a.into_stats();
+    totals.merge(&b.into_stats());
+    assert_eq!(totals.calls, 2);
+    assert_eq!(totals.sat, 1);
+    assert_eq!(totals.unsat, 1);
+}

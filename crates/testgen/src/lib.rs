@@ -225,7 +225,11 @@ pub fn test_element(
 }
 
 /// What the symbolic path predicts for the concrete packet chosen by `model`.
-fn predict(report: &ExecutionReport, path: &symnet_core::engine::PathReport, model: &Model) -> ReferenceVerdict {
+fn predict(
+    report: &ExecutionReport,
+    path: &symnet_core::engine::PathReport,
+    model: &Model,
+) -> ReferenceVerdict {
     let _ = report;
     match &path.status {
         PathStatus::Delivered { port, .. } => {
@@ -248,8 +252,14 @@ fn compare(
     match (expected, observed) {
         (ReferenceVerdict::Dropped, ReferenceVerdict::Dropped) => None,
         (
-            ReferenceVerdict::Forwarded { port: ep, packet: epk },
-            ReferenceVerdict::Forwarded { port: op, packet: opk },
+            ReferenceVerdict::Forwarded {
+                port: ep,
+                packet: epk,
+            },
+            ReferenceVerdict::Forwarded {
+                port: op,
+                packet: opk,
+            },
         ) => {
             if ep != op {
                 return Some(Mismatch {
@@ -400,7 +410,10 @@ mod tests {
             &reference_host_ether_filter(mac),
             TestgenConfig::default(),
         );
-        assert!(!buggy.is_clean(), "checking the wrong field must be detected");
+        assert!(
+            !buggy.is_clean(),
+            "checking the wrong field must be detected"
+        );
     }
 
     #[test]

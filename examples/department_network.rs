@@ -38,19 +38,33 @@ fn main() {
     let outbound = Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()]);
     let report = engine.inject(topo.office_switch, 0, &outbound);
     let internet: Vec<_> = report.delivered_at(topo.internet, 0).collect();
-    println!("\noffice → Internet: {} paths ({} total)", internet.len(), report.path_count());
+    println!(
+        "\noffice → Internet: {} paths ({} total)",
+        internet.len(),
+        report.path_count()
+    );
     for path in &internet {
         let via_asa = path.ports_visited().iter().any(|p| p.starts_with("ASA:"));
-        let mptcp = path.state.read_meta(&opt_key(option_kind::MPTCP)).unwrap().value;
+        let mptcp = path
+            .state
+            .read_meta(&opt_key(option_kind::MPTCP))
+            .unwrap()
+            .value;
         println!("  via ASA: {via_asa}; MPTCP option after the ASA: {mptcp} (0 = stripped)");
     }
 
     // Inbound: a purely symbolic packet injected at the exit router.
     let inbound = engine.inject(topo.exit_router, 0, &symbolic_l3_tcp_packet());
     let leaked: Vec<_> = inbound.delivered_at(topo.management, 0).collect();
-    println!("\ninbound scan: {} paths, management VLAN reachable on {} paths", inbound.path_count(), leaked.len());
+    println!(
+        "\ninbound scan: {} paths, management VLAN reachable on {} paths",
+        inbound.path_count(),
+        leaked.len()
+    );
     for path in &leaked {
         let bypasses_asa = !path.ports_visited().iter().any(|p| p.starts_with("ASA:"));
-        println!("  leak path bypasses the ASA: {bypasses_asa} — 192.168.137.0/24 is exposed via M1");
+        println!(
+            "  leak path bypasses the ASA: {bypasses_asa} — 192.168.137.0/24 is exposed via M1"
+        );
     }
 }

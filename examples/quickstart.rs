@@ -35,22 +35,36 @@ fn main() {
     let report = engine.inject(firewall, 0, &symbolic_tcp_packet());
 
     // 3. Inspect the explored paths.
-    println!("explored {} paths, {} delivered", report.path_count(), report.delivered().count());
+    println!(
+        "explored {} paths, {} delivered",
+        report.path_count(),
+        report.delivered().count()
+    );
     for path in report.delivered() {
         let ports: Vec<_> = path.ports_visited();
         println!("\npath #{} via {:?}", path.id, ports);
         // Which destination ports can reach the Internet side of the NAT?
-        let allowed = verify::allowed_values(path, &tcp_dst().field()).expect("TcpDst is allocated");
+        let allowed =
+            verify::allowed_values(path, &tcp_dst().field()).expect("TcpDst is allocated");
         println!("  admitted TCP destination ports: {allowed:?}");
         // What does the NAT do to the source?
         let src = path.state.read_field(&ip_src().field(), "").unwrap();
         let sport = verify::allowed_values(path, &tcp_src().field()).unwrap();
-        println!("  source address after NAT: {} (source port range {:?}..={:?})", src.value, sport.min(), sport.max());
+        println!(
+            "  source address after NAT: {} (source port range {:?}..={:?})",
+            src.value,
+            sport.min(),
+            sport.max()
+        );
         // Is the destination port left untouched end to end?
-        let invariant = verify::field_invariant(&report.injected, path, &tcp_dst().field()).unwrap();
+        let invariant =
+            verify::field_invariant(&report.injected, path, &tcp_dst().field()).unwrap();
         println!("  TcpDst invariant across the network: {invariant:?}");
     }
 
     // 4. The same report in the paper's JSON format.
-    println!("\nJSON report:\n{}", report_to_json_string(&report, engine.network()));
+    println!(
+        "\nJSON report:\n{}",
+        report_to_json_string(&report, engine.network())
+    );
 }

@@ -19,7 +19,11 @@ fn run(label: &str, config: SplitTcpConfig) {
     let report = engine.inject(topo.client, 0, &symbolic_tcp_packet());
     let internet_paths: Vec<_> = report.delivered_at(topo.internet, 0).collect();
     println!("\n=== {label} ===");
-    println!("paths explored: {}, reaching the Internet: {}", report.path_count(), internet_paths.len());
+    println!(
+        "paths explored: {}, reaching the Internet: {}",
+        report.path_count(),
+        internet_paths.len()
+    );
     for path in &internet_paths {
         let via_proxy = path.ports_visited().iter().any(|p| p.starts_with("P:"));
         let mtu = allowed_values(path, &ip_length().field()).and_then(|s| s.max());

@@ -33,7 +33,10 @@ fn main() {
             ("TcpPayload", tcp_payload().field()),
         ] {
             let verdict = field_invariant(&report.injected, path, &field.1).unwrap();
-            println!("  {:<10} invariant across the tunnel chain: {:?}", field.0, verdict);
+            println!(
+                "  {:<10} invariant across the tunnel chain: {:?}",
+                field.0, verdict
+            );
             assert_eq!(verdict, Tristate::Always, "{} must be invariant", field.0);
         }
     }

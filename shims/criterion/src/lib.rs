@@ -1,0 +1,300 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the call-site API the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!`). Each benchmark runs
+//! one warm-up iteration plus `sample_size` timed iterations, prints a
+//! one-line summary and writes `estimates.json`
+//! (`{"mean": {"point_estimate": <nanoseconds>}, "sample_size": N}`) under
+//! `target/criterion/<group>/<id>/`, so downstream tooling can scrape the
+//! numbers the way it would scrape real criterion output.
+
+use std::hint;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (mirror of `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier (`<function>/<parameter>`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2(id.id)
+    }
+}
+
+/// Internal normalized id (allows `bench_function` to accept both `&str` and
+/// [`BenchmarkId`]).
+#[doc(hidden)]
+#[derive(Clone, Debug)]
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(id: &str) -> Self {
+        BenchmarkId2(id.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(id: String) -> Self {
+        BenchmarkId2(id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call plus `sample_size` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId2>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        self.criterion
+            .record(&self.name, &id, bencher.mean_ns, self.sample_size);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId2>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into().0;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_ns: f64::NAN,
+        };
+        f(&mut bencher, input);
+        self.criterion
+            .record(&self.name, &id, bencher.mean_ns, self.sample_size);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    output_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs bench executables with the *package* directory as cwd;
+        // the shared target/ lives at the workspace root. Honour
+        // CARGO_TARGET_DIR when set, otherwise walk up from cwd to the
+        // nearest existing target/ directory (falling back to ./target).
+        let target = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .or_else(|| {
+                let mut dir = std::env::current_dir().ok()?;
+                loop {
+                    let candidate = dir.join("target");
+                    if candidate.is_dir() {
+                        return Some(candidate);
+                    }
+                    if !dir.pop() {
+                        return None;
+                    }
+                }
+            })
+            .unwrap_or_else(|| PathBuf::from("target"));
+        Criterion {
+            output_dir: target.join("criterion"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+        };
+        group.bench_function(id, f);
+        self
+    }
+
+    fn record(&mut self, group: &str, id: &str, mean_ns: f64, samples: usize) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "bench {label:<60} {:>12}  ({samples} samples)",
+            human(mean_ns)
+        );
+        let dir = if group.is_empty() {
+            self.output_dir.join(id)
+        } else {
+            self.output_dir.join(group).join(id)
+        };
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let json = format!(
+                "{{\"mean\": {{\"point_estimate\": {mean_ns}}}, \"sample_size\": {samples}}}\n"
+            );
+            let _ = std::fs::write(dir.join("estimates.json"), json);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirror of criterion's measurement duration helper (accepted and ignored).
+pub fn measurement_time(_d: Duration) {}
+
+/// Declares a benchmark group function (mirror of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` (mirror of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("egress", 440).id, "egress/440");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn groups_time_and_record() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        std::env::set_var("CARGO_TARGET_DIR", &dir);
+        let mut c = Criterion::default();
+        std::env::remove_var("CARGO_TARGET_DIR");
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 5), &5usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+        let estimates = dir
+            .join("criterion")
+            .join("g")
+            .join("count")
+            .join("estimates.json");
+        assert!(estimates.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements the small deterministic subset this workspace uses:
+//! `StdRng::seed_from_u64`, `rng.gen::<T>()` and `rng.gen_range(lo..hi)`.
+//! The generator is splitmix64 — high quality for test/workload generation
+//! and stable across platforms, which the seeded topology generators rely on.
+
+/// Seedable constructor trait (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] (mirror of sampling from the `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Derives a value from one 64-bit random draw.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`] (mirror of `SampleRange`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Samples uniformly from the range using one or more raw draws.
+    fn sample(self, raw: u64) -> Self::Output;
+}
+
+macro_rules! range_impls {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+
+            fn sample(self, raw: u64) -> $ty {
+                assert!(self.start < self.end, "gen_range called with an empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + ((raw as u128 % span) as $ty)
+            }
+        }
+    )*};
+}
+
+range_impls!(u8, u16, u32, u64, usize);
+
+/// The random-generation trait (mirror of `rand::Rng`).
+pub trait Rng {
+    /// Produces the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Generates a value of a supported type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Generates a value uniformly distributed over `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let raw = self.next_u64();
+        range.sample(raw)
+    }
+}
+
+/// Ready-made generators (mirror of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard seeded generator (splitmix64 in this shim).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_generators_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+        }
+        // Small ranges hit every value.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

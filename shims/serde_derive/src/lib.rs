@@ -1,0 +1,577 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! workspace's `serde` shim (a `Content`-tree data model) without `syn` or
+//! `quote`: the item is parsed directly from the raw token stream and the
+//! generated impl is assembled as a string. Supported shapes are exactly what
+//! this repository uses — non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants), plus the field attributes
+//! `#[serde(skip)]` and `#[serde(with = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field options collected from `#[serde(...)]` attributes.
+#[derive(Default, Clone)]
+struct FieldOpts {
+    skip: bool,
+    with: Option<String>,
+}
+
+/// One parsed field: its name (None for tuple fields) and options.
+struct Field {
+    name: Option<String>,
+    opts: FieldOpts,
+}
+
+/// The shape of a struct or of one enum variant's payload.
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consumes a run of outer attributes, returning the merged serde options.
+    fn take_attrs(&mut self) -> FieldOpts {
+        let mut opts = FieldOpts::default();
+        while self.at_punct('#') {
+            self.next(); // '#'
+            let Some(TokenTree::Group(group)) = self.next() else {
+                panic!("expected [...] after # in attribute");
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        parse_serde_args(args.stream(), &mut opts);
+                    }
+                }
+            }
+        }
+        opts
+    }
+
+    /// Consumes an optional visibility (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consumes tokens until a comma outside of any `<...>` generic-argument
+    /// nesting (exclusive); eats the comma. Angle brackets are not delimiter
+    /// groups in token streams, so the depth is tracked manually.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => {
+                        self.next();
+                        return;
+                    }
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_args(args: TokenStream, opts: &mut FieldOpts) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                opts.skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "path"
+                if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                    let text = lit.to_string();
+                    opts.with = Some(text.trim_matches('"').to_string());
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses the fields of a `{ ... }` group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cursor.peek().is_some() {
+        let opts = cursor.take_attrs();
+        cursor.skip_visibility();
+        let Some(TokenTree::Ident(name)) = cursor.next() else {
+            panic!("expected field name");
+        };
+        // ':'
+        cursor.next();
+        cursor.skip_until_comma();
+        fields.push(Field {
+            name: Some(name.to_string()),
+            opts,
+        });
+    }
+    fields
+}
+
+/// Parses the fields of a `( ... )` group (tuple struct / tuple variant).
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cursor.peek().is_some() {
+        let opts = cursor.take_attrs();
+        cursor.skip_visibility();
+        cursor.skip_until_comma();
+        fields.push(Field { name: None, opts });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cursor.peek().is_some() {
+        let _attrs = cursor.take_attrs();
+        let Some(TokenTree::Ident(name)) = cursor.next() else {
+            panic!("expected enum variant name");
+        };
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                cursor.next();
+                Shape::Tuple(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        cursor.skip_until_comma();
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    let _ = cursor.take_attrs();
+    cursor.skip_visibility();
+    let kind = match cursor.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct or enum, found {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = cursor.next() else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    if cursor.at_punct('<') {
+        panic!("the serde shim derive does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match cursor.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = cursor.next() else {
+                panic!("expected enum body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("cannot derive for {other} items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation — Serialize
+// ---------------------------------------------------------------------------
+
+/// Expression serialising `expr` (a place expression of the field) to Content.
+fn ser_field_expr(place: &str, opts: &FieldOpts) -> String {
+    match &opts.with {
+        Some(path) => format!(
+            "{path}::serialize(&{place}, ::serde::ContentSerializer)\
+             .unwrap_or(::serde::Content::Null)"
+        ),
+        None => format!("::serde::Serialize::to_content(&{place})"),
+    }
+}
+
+fn ser_named_fields(fields: &[Field], place_prefix: &str) -> String {
+    let mut out = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.opts.skip {
+            continue;
+        }
+        let name = f.name.as_deref().expect("named field");
+        let place = format!("{place_prefix}{name}");
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), {}));\n",
+            ser_field_expr(&place, &f.opts)
+        ));
+    }
+    out.push_str("::serde::Content::Map(__fields)");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    // Newtype struct: transparent.
+                    ser_field_expr("self.0", &fields[0].opts)
+                }
+                Shape::Tuple(fields) => {
+                    let elems: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| ser_field_expr(&format!("self.{i}"), &f.opts))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) => {
+                    format!("{{ {} }}", ser_named_fields(fields, "self."))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            ser_field_expr("(*__f0)", &fields[0].opts)
+                        } else {
+                            let elems: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| ser_field_expr(&format!("(*__f{i})"), &f.opts))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut binders: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.opts.skip)
+                            .map(|f| f.name.clone().expect("named"))
+                            .collect();
+                        binders.push("..".to_string());
+                        let inner = {
+                            let mut s = String::from(
+                                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Content)> = ::std::vec::Vec::new();\n",
+                            );
+                            for f in fields {
+                                if f.opts.skip {
+                                    continue;
+                                }
+                                let fname = f.name.as_deref().expect("named");
+                                s.push_str(&format!(
+                                    "__fields.push((::std::string::String::from(\"{fname}\"), {}));\n",
+                                    ser_field_expr(&format!("(*{fname})"), &f.opts)
+                                ));
+                            }
+                            s.push_str("::serde::Content::Map(__fields)");
+                            s
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {{ {inner} }})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation — Deserialize
+// ---------------------------------------------------------------------------
+
+const ERR: &str = "<__D::Error as ::serde::Error>::custom";
+
+/// Expression decoding `content_expr` (a Content expression) into the field.
+fn de_field_expr(content_expr: &str, opts: &FieldOpts) -> String {
+    match &opts.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::ContentDeserializer::new({content_expr}))\
+             .map_err(|e| {ERR}(e))?"
+        ),
+        None => format!("::serde::from_content({content_expr}).map_err(|e| {ERR}(e))?"),
+    }
+}
+
+fn de_named_fields(type_label: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut out = format!("let mut __map = {map_expr};\n");
+    let mut inits = Vec::new();
+    for f in fields {
+        let fname = f.name.as_deref().expect("named field");
+        if f.opts.skip {
+            inits.push(format!("{fname}: ::std::default::Default::default()"));
+            continue;
+        }
+        let take = format!(
+            "::serde::take_field(&mut __map, \"{fname}\").ok_or_else(|| \
+             {ERR}(\"missing field `{fname}` in {type_label}\"))?"
+        );
+        inits.push(format!("{fname}: {}", de_field_expr(&take, &f.opts)));
+    }
+    out.push_str(&format!(
+        "::std::result::Result::Ok({type_label} {{ {} }})",
+        inits.join(", ")
+    ));
+    out
+}
+
+fn de_tuple_fields(type_label: &str, fields: &[Field], seq_expr: &str) -> String {
+    let mut out = format!("let mut __seq = {seq_expr}.into_iter();\n");
+    let mut inits = Vec::new();
+    for (i, f) in fields.iter().enumerate() {
+        let next = format!(
+            "__seq.next().ok_or_else(|| \
+             {ERR}(\"missing element {i} in {type_label}\"))?"
+        );
+        inits.push(de_field_expr(&next, &f.opts));
+    }
+    out.push_str(&format!(
+        "::std::result::Result::Ok({type_label}({}))",
+        inits.join(", ")
+    ));
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(fields) if fields.len() == 1 => format!(
+                    "::std::result::Result::Ok({name}({}))",
+                    de_field_expr("__content", &fields[0].opts)
+                ),
+                Shape::Tuple(fields) => format!(
+                    "match __content {{\n\
+                         ::serde::Content::Seq(__elems) => {{ {} }}\n\
+                         _ => ::std::result::Result::Err({ERR}(\"expected sequence for {name}\")),\n\
+                     }}",
+                    de_tuple_fields(name, fields, "__elems")
+                ),
+                Shape::Named(fields) => format!(
+                    "match __content {{\n\
+                         ::serde::Content::Map(__entries) => {{ {} }}\n\
+                         _ => ::std::result::Result::Err({ERR}(\"expected map for {name}\")),\n\
+                     }}",
+                    de_named_fields(name, fields, "__entries")
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as Content::Str, payload variants as a
+            // single-entry Content::Map.
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),\n",
+                            de_field_expr("__payload", &fields[0].opts)
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let label = format!("{name}::{vname}");
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                                 ::serde::Content::Seq(__elems) => {{ {} }}\n\
+                                 _ => ::std::result::Result::Err({ERR}(\"expected sequence for {label}\")),\n\
+                             }},\n",
+                            de_tuple_fields(&label, fields, "__elems")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let label = format!("{name}::{vname}");
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                                 ::serde::Content::Map(__entries) => {{ {} }}\n\
+                                 _ => ::std::result::Result::Err({ERR}(\"expected map for {label}\")),\n\
+                             }},\n",
+                            de_named_fields(&label, fields, "__entries")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __content {{\n\
+                     ::serde::Content::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err({ERR}(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) => {{\n\
+                         let mut __entries = __entries;\n\
+                         let (__tag, __payload) = __entries.pop().ok_or_else(|| \
+                             {ERR}(\"empty variant map for {name}\"))?;\n\
+                         #[allow(unused_variables)]\n\
+                         match __tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err({ERR}(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err({ERR}(\"expected string or map for enum {name}\")),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_variables)]\n\
+                 let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive generated invalid Deserialize impl")
+}

@@ -1,0 +1,752 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset this workspace uses: [`Value`], an insertion-ordered
+//! [`Map`], the [`json!`] macro, [`to_value`], [`to_string`] /
+//! [`to_string_pretty`] (matching serde_json's 2-space pretty format) and
+//! [`from_str`] for round-trips in tests. Serialization interoperates with the
+//! workspace `serde` shim through its `Content` tree.
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map),
+}
+
+/// A JSON number (integer or float).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Number {
+    /// Any integer.
+    Int(i128),
+    /// A float.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (generic so that type annotations
+/// like `serde_json::Map<String, Value>` compile).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts a key/value pair, replacing an existing entry with the same key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(std::mem::replace(&mut slot.1, value))
+        } else {
+            self.entries.push((key, value));
+            None
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq + ?Sized,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<K: PartialEq, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// True if the value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if any.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(v)) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup; returns `Null` for missing keys (like serde_json).
+    pub fn get_key(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Index lookup; returns `Null` out of bounds (like serde_json).
+    pub fn get_index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get_key(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index)
+    }
+}
+
+macro_rules! value_eq {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                matches!(self, Value::Number(Number::Int(v)) if *v == *other as i128)
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq!(i32, i64, u32, u64, usize);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serde interop
+// ---------------------------------------------------------------------------
+
+fn content_to_value(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::Int(v) => Value::Number(Number::Int(v)),
+        Content::Float(v) => Value::Number(Number::Float(v)),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(elems) => Value::Array(elems.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn value_to_content(value: &Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::Int(v)) => Content::Int(*v),
+        Value::Number(Number::Float(v)) => Content::Float(*v),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(a) => Content::Seq(a.iter().map(value_to_content).collect()),
+        Value::Object(m) => Content::Map(
+            m.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Serialize for Map {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        )
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(content_to_value(deserializer.deserialize_content()?))
+    }
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(value.to_content())
+}
+
+/// Error produced by this shim's conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, v);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+/// Renders a serializable value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, &to_value(value));
+    Ok(out)
+}
+
+/// Renders a serializable value as pretty JSON (2-space indent, like
+/// serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &to_value(value), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (used for round-trip tests)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\n' | b'\r' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut elems = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(elems));
+                }
+                loop {
+                    elems.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(elems));
+                        }
+                        _ => return Err(Error(format!("expected ',' or ']' at {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(Error(format!("expected ',' or '}}' at {}", self.pos))),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(Error(format!("expected string at {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("invalid \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u escape".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("invalid escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(|v| Value::Number(Number::Float(v)))
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(|v| Value::Number(Number::Int(v)))
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+/// Parses JSON text into a deserializable value.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", parser.pos)));
+    }
+    serde::from_content(value_to_content(&value)).map_err(|e| Error(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-like literal (subset of serde_json's
+/// `json!`: object/array literals, `null`, booleans and arbitrary serializable
+/// expressions; object keys must be string literals).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_array_internal!(@acc [] [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_object_internal!(object () $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal muncher for `json!` object bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // End of input.
+    ($object:ident ()) => {};
+    // Start of an entry: grab the key, then accumulate value tokens.
+    ($object:ident () $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value!($object $key [] $($rest)*)
+    };
+}
+
+/// Internal muncher accumulating one object value. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    // A top-level comma ends the value.
+    ($object:ident $key:literal [$($val:tt)+] , $($rest:tt)*) => {
+        $object.insert($key.to_string(), $crate::json!($($val)+));
+        $crate::json_object_internal!($object () $($rest)*);
+    };
+    // End of input ends the value.
+    ($object:ident $key:literal [$($val:tt)+]) => {
+        $object.insert($key.to_string(), $crate::json!($($val)+));
+    };
+    // Otherwise munch one token.
+    ($object:ident $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($object $key [$($val)* $next] $($rest)*)
+    };
+}
+
+/// Internal muncher for `json!` array bodies: accumulates completed elements
+/// (each as a bracketed token group) and expands to a single `vec![...]`.
+/// Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // End of input with no element in progress (covers trailing commas).
+    (@acc [$([$($done:tt)*])*] []) => {
+        ::std::vec![ $( $crate::json!($($done)*) ),* ]
+    };
+    // End of input: flush the in-progress element.
+    (@acc [$([$($done:tt)*])*] [$($cur:tt)+]) => {
+        ::std::vec![ $( $crate::json!($($done)*), )* $crate::json!($($cur)+) ]
+    };
+    // A top-level comma completes the in-progress element.
+    (@acc [$($done:tt)*] [$($cur:tt)+] , $($rest:tt)*) => {
+        $crate::json_array_internal!(@acc [$($done)* [$($cur)+]] [] $($rest)*)
+    };
+    // Otherwise munch one token into the in-progress element.
+    (@acc [$($done:tt)*] [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_array_internal!(@acc [$($done)*] [$($cur)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let count = 2usize;
+        let v = json!({
+            "a": 1,
+            "b": { "c": "text", "d": [1, 2, 3] },
+            "count": count,
+            "flag": true,
+            "nothing": null,
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"]["c"], "text");
+        assert_eq!(v["b"]["d"].as_array().unwrap().len(), 3);
+        assert_eq!(v["count"], 2usize);
+        assert_eq!(v["flag"], true);
+        assert_eq!(v["nothing"], Value::Null);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_printing_matches_serde_json_layout() {
+        let v = json!({ "a": 1, "b": [true, "x"] });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    \"x\"\n  ]\n}"
+        );
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "{\"a\":1,\"b\":[true,\"x\"]}");
+    }
+
+    #[test]
+    fn escaping_and_parsing_roundtrip() {
+        let v = json!({ "weird": "a\"b\\c\nd" });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_handles_numbers_and_nesting() {
+        let v: Value = from_str("{\"x\": [1, -2, 3.5], \"y\": null}").unwrap();
+        assert_eq!(v["x"][0], 1);
+        assert_eq!(v["x"][1], -2i64);
+        assert!(matches!(v["x"][2], Value::Number(Number::Float(_))));
+        assert_eq!(v["y"], Value::Null);
+    }
+}

@@ -1,0 +1,179 @@
+//! Engine determinism across thread counts: on every scenario topology of
+//! `crates/models/src/scenarios.rs`, running `SymNet::inject` with 1, 2 and 8
+//! workers must produce byte-identical serialized `ExecutionReport`s — both
+//! the paper-style JSON rendering of `report.rs` and the serde serialization
+//! of the report struct itself. Wall-clock fields (`wall_time`,
+//! `solver_stats.time_in_solver`) are zeroed before comparing: they are the
+//! only physically nondeterministic part of a report.
+
+use std::time::Duration;
+use symnet_suite::core::engine::{ExecConfig, ExecutionReport, SymNet};
+use symnet_suite::core::network::{ElementId, Network};
+use symnet_suite::core::report::report_to_json_string;
+use symnet_suite::models::scenarios::{
+    department, split_tcp, stanford_backbone, tunnel_chain, DepartmentConfig, SplitTcpConfig,
+};
+use symnet_suite::models::tcp_options::symbolic_options_metadata;
+use symnet_suite::sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
+use symnet_suite::sefl::Instruction;
+
+/// Runs one injection at a given worker count and renders both serializations
+/// with timing fields zeroed.
+fn canonical(
+    net: &Network,
+    config: &ExecConfig,
+    threads: usize,
+    inject_at: ElementId,
+    packet: &Instruction,
+) -> (String, String) {
+    let engine = SymNet::with_config(net.clone(), config.clone().with_threads(threads));
+    let mut report: ExecutionReport = engine.inject(inject_at, 0, packet);
+    report.wall_time = Duration::ZERO;
+    report.solver_stats.time_in_solver = Duration::ZERO;
+    let paper_json = report_to_json_string(&report, engine.network());
+    let serde_json = serde_json::to_string(&report).expect("report serializes");
+    (paper_json, serde_json)
+}
+
+/// Asserts byte-identical reports at 1, 2 and 8 workers.
+fn assert_thread_invariant(
+    name: &str,
+    net: &Network,
+    config: &ExecConfig,
+    inject_at: ElementId,
+    packet: &Instruction,
+) {
+    let baseline = canonical(net, config, 1, inject_at, packet);
+    assert!(
+        !baseline.0.is_empty() && !baseline.1.is_empty(),
+        "{name}: empty serialization"
+    );
+    for threads in [2usize, 8] {
+        let got = canonical(net, config, threads, inject_at, packet);
+        assert_eq!(
+            got.0, baseline.0,
+            "{name}: paper JSON differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.1, baseline.1,
+            "{name}: serde JSON differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn tunnel_chain_reports_are_thread_invariant() {
+    let (net, a, _b) = tunnel_chain();
+    assert_thread_invariant(
+        "tunnel_chain",
+        &net,
+        &ExecConfig::default(),
+        a,
+        &symbolic_tcp_packet(),
+    );
+}
+
+#[test]
+fn split_tcp_reports_are_thread_invariant() {
+    // Every documented §8.4 incident configuration.
+    let configs = [
+        ("default", SplitTcpConfig::default()),
+        (
+            "tunnel_to_proxy",
+            SplitTcpConfig {
+                tunnel_to_proxy: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "vlan_stripping_bug",
+            SplitTcpConfig {
+                vlan_stripping_bug: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "dhcp_security_check",
+            SplitTcpConfig {
+                dhcp_security_check: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "mirror_at_r2",
+            SplitTcpConfig {
+                mirror_at_r2: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        let (net, topo) = split_tcp(config);
+        assert_thread_invariant(
+            &format!("split_tcp/{name}"),
+            &net,
+            &ExecConfig::default(),
+            topo.client,
+            &symbolic_tcp_packet(),
+        );
+    }
+}
+
+#[test]
+fn department_reports_are_thread_invariant() {
+    let (net, topo) = department(DepartmentConfig {
+        access_switches: 3,
+        mac_entries: 120,
+        routes: 20,
+    });
+    let config = ExecConfig {
+        max_hops: 32,
+        ..ExecConfig::default()
+    };
+    // Outbound: office to Internet with symbolic TCP options (the §8.5 run).
+    let outbound = Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()]);
+    assert_thread_invariant(
+        "department/outbound",
+        &net,
+        &config,
+        topo.office_switch,
+        &outbound,
+    );
+    // Inbound scan from the exit router.
+    assert_thread_invariant(
+        "department/inbound",
+        &net,
+        &config,
+        topo.exit_router,
+        &symbolic_l3_tcp_packet(),
+    );
+}
+
+#[test]
+fn execution_reports_roundtrip_through_serde() {
+    // The derived Serialize/Deserialize impls must agree: parsing a
+    // serialized report and re-serializing it reproduces the exact bytes.
+    let (net, a, _b) = tunnel_chain();
+    let engine = SymNet::with_config(net, ExecConfig::default());
+    let mut report = engine.inject(a, 0, &symbolic_tcp_packet());
+    report.wall_time = Duration::ZERO;
+    report.solver_stats.time_in_solver = Duration::ZERO;
+    let text = serde_json::to_string(&report).expect("serializes");
+    let parsed: ExecutionReport = serde_json::from_str(&text).expect("parses back");
+    let text2 = serde_json::to_string(&parsed).expect("re-serializes");
+    assert_eq!(text, text2);
+    assert_eq!(parsed.path_count(), report.path_count());
+    assert_eq!(parsed.injected, report.injected);
+}
+
+#[test]
+fn stanford_backbone_reports_are_thread_invariant() {
+    let backbone = stanford_backbone(4, 60);
+    assert_thread_invariant(
+        "stanford_backbone",
+        &backbone.network,
+        &ExecConfig::default(),
+        backbone.access,
+        &symbolic_l3_tcp_packet(),
+    );
+}

@@ -40,10 +40,14 @@ fn switch_router_nat_pipeline() {
     assert_eq!(natted.len(), 1);
     let path = natted[0];
     // The path through the NAT carries all upstream constraints.
-    let macs = verify::allowed_values(path, &symnet_suite::sefl::fields::ether_dst().field()).unwrap();
+    let macs =
+        verify::allowed_values(path, &symnet_suite::sefl::fields::ether_dst().field()).unwrap();
     assert!(macs.contains(0x0b) && !macs.contains(0x0a));
     let dsts = verify::allowed_values(path, &ip_dst().field()).unwrap();
-    assert!(!dsts.contains(0x0a000001), "10/8 traffic went out the other interface");
+    assert!(
+        !dsts.contains(0x0a000001),
+        "10/8 traffic went out the other interface"
+    );
     // The NAT rewrote the source but not the destination.
     assert_eq!(
         verify::field_invariant(&report.injected, path, &ip_dst().field()),
@@ -110,8 +114,15 @@ fn nat_mirror_loop_is_detected_and_fixed() {
     let (net, n) = build(false);
     let engine = SymNet::new(net);
     let report = engine.inject(n, 0, &packet);
-    assert_eq!(report.loops().count(), 0, "the corrected wiring has no loop");
-    assert!(report.delivered_at(n, 1).count() >= 1, "replies are translated back");
+    assert_eq!(
+        report.loops().count(),
+        0,
+        "the corrected wiring has no loop"
+    );
+    assert!(
+        report.delivered_at(n, 1).count() >= 1,
+        "replies are translated back"
+    );
 }
 
 /// The LPM example of §7 runs end to end through the egress router model.

@@ -35,7 +35,10 @@ fn fig8_switch_model_ordering() {
     assert_eq!(basic.paths, entries);
     assert_eq!(ingress.paths, 20);
     assert_eq!(egress.paths, 20);
-    assert_eq!(egress.constraint_atoms, entries, "egress constraints are linear");
+    assert_eq!(
+        egress.constraint_atoms, entries,
+        "egress constraints are linear"
+    );
     assert!(ingress.constraint_atoms > egress.constraint_atoms);
     assert!(basic.constraint_atoms >= entries);
 }
@@ -75,8 +78,14 @@ fn table3_symnet_within_a_small_factor_of_hsa() {
 fn table4_symnet_column_is_correct() {
     let report = bench::table4(2);
     let text = report.render();
-    assert!(text.contains("yes (correct)"), "timestamp must be allowed:\n{text}");
-    assert!(text.contains("yes (always)"), "multipath must be stripped:\n{text}");
+    assert!(
+        text.contains("yes (correct)"),
+        "timestamp must be allowed:\n{text}"
+    );
+    assert!(
+        text.contains("yes (always)"),
+        "multipath must be stripped:\n{text}"
+    );
 }
 
 /// E6 / Table 5: capability matrix.
@@ -96,10 +105,16 @@ fn sec83_bug_catalogue() {
     let text = report.render();
     for line in text.lines() {
         if line.contains("(correct)") {
-            assert!(line.trim_end().ends_with('0'), "correct models must be clean: {line}");
+            assert!(
+                line.trim_end().ends_with('0'),
+                "correct models must be clean: {line}"
+            );
         }
         if line.contains("buggy") {
-            assert!(!line.trim_end().ends_with('0'), "buggy models must be caught: {line}");
+            assert!(
+                !line.trim_end().ends_with('0'),
+                "buggy models must be caught: {line}"
+            );
         }
     }
 }
