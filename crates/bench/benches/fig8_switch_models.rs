@@ -1,7 +1,15 @@
-//! Criterion bench behind Figure 8: basic vs ingress vs egress switch models.
+//! Criterion bench behind Figure 8: basic vs ingress vs egress switch models,
+//! plus the incremental-vs-from-scratch solver comparison on the basic model
+//! (the paper's fork-heavy worst case: one execution path per MAC entry, each
+//! sharing a long prefix of negated matches with its siblings).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use symnet_bench::measure_switch;
+use symnet_core::engine::{ExecConfig, SymNet};
+use symnet_core::network::Network;
+use symnet_models::switch::{switch_basic, MacTable};
+use symnet_sefl::packet::symbolic_tcp_packet;
+use symnet_solver::SolverConfig;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_switch_models");
@@ -17,6 +25,27 @@ fn bench(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("basic", 440usize), |b| {
         b.iter(|| measure_switch("basic", 440, 20).paths)
     });
+
+    // Basic model, incremental prefix-cached solving vs re-solving the whole
+    // path condition from scratch on every check.
+    let table = MacTable::synthetic(440, 20);
+    for (label, incremental) in [("incremental", true), ("from_scratch", false)] {
+        let mut net = Network::new();
+        let id = net.add_element(switch_basic("switch", &table));
+        let engine = SymNet::with_config(
+            net,
+            ExecConfig {
+                solver: SolverConfig {
+                    incremental,
+                    ..SolverConfig::default()
+                },
+                ..ExecConfig::default().with_threads(1)
+            },
+        );
+        group.bench_function(BenchmarkId::new("basic_solver", label), |b| {
+            b.iter(|| engine.inject(id, 0, &symbolic_tcp_packet()).path_count())
+        });
+    }
     group.finish();
 }
 

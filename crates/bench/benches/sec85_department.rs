@@ -8,6 +8,7 @@ use symnet_models::scenarios::{department, DepartmentConfig};
 use symnet_models::tcp_options::symbolic_options_metadata;
 use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
 use symnet_sefl::Instruction;
+use symnet_solver::SolverConfig;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sec85_department");
@@ -53,6 +54,28 @@ fn bench(c: &mut Criterion) {
             &threads,
             |b, _| b.iter(|| engine.inject(topo.office_switch, 0, &outbound).path_count()),
         );
+    }
+
+    // Incremental-solver speedup: the same run, single-threaded so that the
+    // solver dominates, with the prefix-cached incremental procedure vs the
+    // from-scratch baseline that re-normalises the entire path condition at
+    // every `Constrain`/`If` check. The reports are identical; only the
+    // solver-side work (and wall clock) changes.
+    for (label, incremental) in [("incremental", true), ("from_scratch", false)] {
+        let engine = SymNet::with_config(
+            net.clone(),
+            ExecConfig {
+                max_hops: 32,
+                solver: SolverConfig {
+                    incremental,
+                    ..SolverConfig::default()
+                },
+                ..ExecConfig::default().with_threads(1)
+            },
+        );
+        group.bench_function(BenchmarkId::new("office_to_internet_solver", label), |b| {
+            b.iter(|| engine.inject(topo.office_switch, 0, &outbound).path_count())
+        });
     }
     group.finish();
 }

@@ -713,6 +713,23 @@ pub fn sec85(access_switches: usize, mac_entries: usize, routes: usize) -> Table
         ],
     });
 
+    // Incremental-solver cache effectiveness on the outbound run (the same
+    // counters appear in the JSON report's "solver" section).
+    let stats = &report.solver_stats;
+    rows.push(Row {
+        cells: vec![
+            "Solver cache (outbound)".into(),
+            format!(
+                "{} calls, prefix cache {} hits / {} misses, memo {} hits / {} misses",
+                stats.calls,
+                stats.prefix_hits,
+                stats.prefix_misses,
+                stats.memo_hits,
+                stats.memo_misses
+            ),
+        ],
+    });
+
     // Inbound scan from the exit router.
     let start = Instant::now();
     let inbound = engine.inject(topo.exit_router, 0, &symbolic_l3_tcp_packet());

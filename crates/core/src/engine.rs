@@ -16,7 +16,14 @@
 //! and the final report is sorted into exactly the order the single-threaded
 //! engine produces, so the JSON output is byte-identical for any thread
 //! count (the one exception is a run truncated by the [`ExecConfig::max_paths`]
-//! cap, whose cut-off point is scheduling-dependent).
+//! cap, whose exact count is honoured but whose surviving paths are
+//! scheduling-dependent).
+//!
+//! Forking is O(1) in the per-path bookkeeping: the path condition is a
+//! persistent cons-list ([`symnet_solver::PathCond`]) and the loop-detection
+//! history an `Arc`-shared [`History`] list, so children share their parent's
+//! structure instead of deep-copying it — and the solver reuses the analysis
+//! cached on the shared path-condition prefix ([`Solver::check_path`]).
 
 use crate::error::{DropReason, ExecError};
 use crate::network::{ElementId, Network};
@@ -27,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use symnet_sefl::field::FieldRef;
 use symnet_sefl::fields;
@@ -49,16 +56,18 @@ pub struct ExecConfig {
     /// Include paths pruned as infeasible `If` branches in the report.
     pub include_pruned: bool,
     /// Hard cap on the total number of reported paths (runaway-model guard).
-    /// Checked when a pending path is dequeued; with multiple workers the cap
-    /// is enforced with an atomic counter and is accurate to within one
-    /// in-flight path per worker.
+    /// Exact at any thread count: each reported path reserves a slot from a
+    /// shared atomic budget at emission time, so a truncated run reports
+    /// precisely this many paths (which paths survive truncation is
+    /// scheduling-dependent under multiple workers).
     pub max_paths: usize,
     /// Number of worker threads exploring paths. `1` runs the exact
     /// single-threaded legacy loop (no queue locking, no thread spawn); the
     /// default is the machine's available parallelism. As long as the run
     /// stays under [`ExecConfig::max_paths`], the report is byte-identical
-    /// for every thread count; a run that hits the cap is truncated at a
-    /// scheduling-dependent point (see `max_paths`).
+    /// for every thread count; a run that hits the cap reports exactly
+    /// `max_paths` paths, but which ones is scheduling-dependent (see
+    /// `max_paths`).
     pub threads: usize,
     /// Constraint-solver limits.
     pub solver: SolverConfig,
@@ -236,6 +245,46 @@ impl Flow {
     }
 }
 
+/// One loop-detection snapshot: the port that was visited plus the projected
+/// feasible set of every configured loop field at that visit.
+#[derive(Debug)]
+struct HistoryEntry {
+    element: ElementId,
+    input_port: usize,
+    snapshot: Vec<Option<IntervalSet>>,
+    parent: History,
+}
+
+/// The per-path history of loop-detection snapshots, as an `Arc`-based
+/// persistent list: forking a path shares the parent's history (one pointer
+/// clone) instead of copying a vector of interval sets per child.
+#[derive(Clone, Debug, Default)]
+struct History(Option<Arc<HistoryEntry>>);
+
+impl History {
+    /// Returns this history extended by one snapshot (O(1), the receiver
+    /// becomes the shared tail).
+    #[must_use]
+    fn push(
+        &self,
+        element: ElementId,
+        input_port: usize,
+        snapshot: Vec<Option<IntervalSet>>,
+    ) -> History {
+        History(Some(Arc::new(HistoryEntry {
+            element,
+            input_port,
+            snapshot,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Iterates over the entries, newest first.
+    fn iter(&self) -> impl Iterator<Item = &HistoryEntry> {
+        std::iter::successors(self.0.as_deref(), |e| e.parent.0.as_deref())
+    }
+}
+
 /// A path waiting to be processed at an element input port.
 #[derive(Clone, Debug)]
 struct PendingPath {
@@ -243,9 +292,9 @@ struct PendingPath {
     element: ElementId,
     input_port: usize,
     hops: usize,
-    /// Per-path history of loop-detection snapshots: (element, input port,
-    /// projected feasible set per loop field).
-    history: Vec<(ElementId, usize, Vec<Option<IntervalSet>>)>,
+    /// Per-path history of loop-detection snapshots (persistent list, shared
+    /// with the siblings this path forked from).
+    history: History,
     /// Fresh-variable allocator for this path. Each path carries its own
     /// allocator (seeded from the post-construction state) so that variable
     /// ids depend only on the path's own history, never on the order in which
@@ -299,11 +348,44 @@ struct RawResult {
     state: ExecState,
 }
 
+/// The shared path budget enforcing [`ExecConfig::max_paths`] exactly: every
+/// reported path reserves one slot atomically *before* it is recorded, so no
+/// interleaving of workers can over-produce.
+struct PathBudget {
+    reserved: AtomicUsize,
+    cap: usize,
+}
+
+impl PathBudget {
+    fn new(cap: usize) -> Self {
+        PathBudget {
+            reserved: AtomicUsize::new(0),
+            cap,
+        }
+    }
+
+    /// Reserves one report slot; `false` means the cap is reached and the
+    /// path must be discarded.
+    fn try_reserve(&self) -> bool {
+        self.reserved
+            .fetch_update(AtomicOrdering::Relaxed, AtomicOrdering::Relaxed, |n| {
+                (n < self.cap).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// True once every slot is taken (exploration can stop).
+    fn exhausted(&self) -> bool {
+        self.reserved.load(AtomicOrdering::Relaxed) >= self.cap
+    }
+}
+
 /// Collects the emissions (terminated paths and forked pending paths) of one
 /// processing step, assigning lineage/keys from a per-step event counter.
 struct StepSink<'a> {
     parent: &'a [u32],
     next_event: u32,
+    budget: &'a PathBudget,
     results: &'a mut Vec<RawResult>,
     children: &'a mut Vec<PendingPath>,
 }
@@ -311,36 +393,42 @@ struct StepSink<'a> {
 impl<'a> StepSink<'a> {
     fn new(
         parent: &'a [u32],
+        budget: &'a PathBudget,
         results: &'a mut Vec<RawResult>,
         children: &'a mut Vec<PendingPath>,
     ) -> Self {
         StepSink {
             parent,
             next_event: 0,
+            budget,
             results,
             children,
         }
     }
 
-    /// Emits a terminated path.
+    /// Emits a terminated path. The path is recorded only if it fits the
+    /// [`ExecConfig::max_paths`] budget (the event index is consumed either
+    /// way, keeping sibling ordering stable).
     fn emit(&mut self, status: PathStatus, state: ExecState) {
         let key = EmitKey {
             parent: self.parent.to_vec(),
             event: self.next_event,
         };
         self.next_event += 1;
+        if !self.budget.try_reserve() {
+            return;
+        }
         self.results.push(RawResult { key, status, state });
     }
 
     /// Spawns a pending path to be processed later.
-    #[allow(clippy::too_many_arguments)]
     fn spawn(
         &mut self,
         state: ExecState,
         element: ElementId,
         input_port: usize,
         hops: usize,
-        history: Vec<(ElementId, usize, Vec<Option<IntervalSet>>)>,
+        history: History,
         symbols: VarAllocator,
     ) {
         let mut lineage = self.parent.to_vec();
@@ -474,6 +562,7 @@ impl SymNet {
         // clone of the post-construction allocator, so fresh variables
         // allocated later are a function of the path alone.
         let prefix = local_prefix(&self.network, element);
+        let budget = PathBudget::new(self.config.max_paths);
         let construction = exec_instr(
             &mut ctx,
             &prefix,
@@ -485,7 +574,7 @@ impl SymNet {
         let mut injected = ExecState::new();
         let mut first = true;
         {
-            let mut sink = StepSink::new(&[], &mut results, &mut roots);
+            let mut sink = StepSink::new(&[], &budget, &mut results, &mut roots);
             for flow in construction {
                 match flow.status {
                     FlowStatus::Running => {
@@ -498,7 +587,7 @@ impl SymNet {
                             element,
                             input_port,
                             0,
-                            Vec::new(),
+                            History::default(),
                             ctx.symbols.clone(),
                         );
                     }
@@ -524,9 +613,9 @@ impl SymNet {
         let mut solver_stats = SolverStats::default();
         let workers = self.config.threads.max(1);
         if workers == 1 {
-            self.drive_sequential(&mut ctx, roots, &mut results);
+            self.drive_sequential(&mut ctx, &budget, roots, &mut results);
         } else {
-            let (worker_results, worker_stats) = self.drive_parallel(workers, roots, results.len());
+            let (worker_results, worker_stats) = self.drive_parallel(workers, &budget, roots);
             results.extend(worker_results);
             for stats in &worker_stats {
                 solver_stats.merge(stats);
@@ -559,16 +648,17 @@ impl SymNet {
     fn drive_sequential(
         &self,
         ctx: &mut Ctx,
+        budget: &PathBudget,
         roots: Vec<PendingPath>,
         results: &mut Vec<RawResult>,
     ) {
         let mut worklist: VecDeque<PendingPath> = VecDeque::from(roots);
         let mut children: Vec<PendingPath> = Vec::new();
         while let Some(pending) = worklist.pop_front() {
-            if results.len() >= self.config.max_paths {
+            if budget.exhausted() {
                 break;
             }
-            self.process_pending(ctx, pending, results, &mut children);
+            self.process_pending(ctx, budget, pending, results, &mut children);
             worklist.extend(children.drain(..));
         }
     }
@@ -578,14 +668,13 @@ impl SymNet {
     fn drive_parallel(
         &self,
         workers: usize,
+        budget: &PathBudget,
         roots: Vec<PendingPath>,
-        already_emitted: usize,
     ) -> (Vec<RawResult>, Vec<SolverStats>) {
         let queue = WorkQueue::new(roots);
-        let emitted = AtomicUsize::new(already_emitted);
         let outputs: Vec<(Vec<RawResult>, SolverStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| self.worker(&queue, &emitted)))
+                .map(|_| scope.spawn(|| self.worker(&queue, budget)))
                 .collect();
             handles
                 .into_iter()
@@ -603,7 +692,7 @@ impl SymNet {
 
     /// One worker: pop pending paths, process them with a thread-local
     /// context, publish forked children back to the queue.
-    fn worker(&self, queue: &WorkQueue, emitted: &AtomicUsize) -> (Vec<RawResult>, SolverStats) {
+    fn worker(&self, queue: &WorkQueue, budget: &PathBudget) -> (Vec<RawResult>, SolverStats) {
         // If this worker unwinds mid-step (a panic anywhere in the
         // interpreter or solver), its in-flight queue slot would otherwise
         // never be retired and every peer would wait forever on the condvar.
@@ -629,14 +718,12 @@ impl SymNet {
         let mut results: Vec<RawResult> = Vec::new();
         let mut children: Vec<PendingPath> = Vec::new();
         while let Some(pending) = queue.pop() {
-            if emitted.load(AtomicOrdering::Relaxed) >= self.config.max_paths {
+            if budget.exhausted() {
                 queue.stop();
                 queue.complete(Vec::new());
                 break;
             }
-            let before = results.len();
-            self.process_pending(&mut ctx, pending, &mut results, &mut children);
-            emitted.fetch_add(results.len() - before, AtomicOrdering::Relaxed);
+            self.process_pending(&mut ctx, budget, pending, &mut results, &mut children);
             queue.complete(std::mem::take(&mut children));
         }
         guard.armed = false;
@@ -648,6 +735,7 @@ impl SymNet {
     fn process_pending(
         &self,
         ctx: &mut Ctx,
+        budget: &PathBudget,
         pending: PendingPath,
         results: &mut Vec<RawResult>,
         children: &mut Vec<PendingPath>,
@@ -664,7 +752,7 @@ impl SymNet {
         // The path's allocator becomes the interpreter context's allocator for
         // the duration of this step; children snapshot it at spawn time.
         ctx.symbols = symbols;
-        let mut sink = StepSink::new(&lineage, results, children);
+        let mut sink = StepSink::new(&lineage, budget, results, children);
         let program = self.network.element(element);
         let prefix = local_prefix(&self.network, element);
         state.push_trace(TraceEntry::Port(
@@ -677,8 +765,8 @@ impl SymNet {
             let snapshot = loop_snapshot(&self.config, ctx, &state);
             let revisit = history
                 .iter()
-                .filter(|(e, p, _)| *e == element && *p == input_port)
-                .any(|(_, _, old)| snapshot_included(old, &snapshot));
+                .filter(|e| e.element == element && e.input_port == input_port)
+                .any(|e| snapshot_included(&e.snapshot, &snapshot));
             if revisit {
                 sink.emit(
                     PathStatus::Dropped {
@@ -689,7 +777,7 @@ impl SymNet {
                 );
                 return;
             }
-            history.push((element, input_port, snapshot));
+            history = history.push(element, input_port, snapshot);
         }
 
         let input_code = program.code_for_input(input_port);
@@ -723,7 +811,7 @@ impl SymNet {
         element: ElementId,
         out_port: usize,
         hops: usize,
-        history: &[(ElementId, usize, Vec<Option<IntervalSet>>)],
+        history: &History,
         mut state: ExecState,
         sink: &mut StepSink<'_>,
     ) {
@@ -769,7 +857,7 @@ impl SymNet {
                                 next_element,
                                 next_port,
                                 hops + 1,
-                                history.to_vec(),
+                                history.clone(),
                                 ctx.symbols.clone(),
                             );
                         }
@@ -801,7 +889,7 @@ fn loop_snapshot(
     ctx: &mut Ctx,
     state: &ExecState,
 ) -> Vec<Option<IntervalSet>> {
-    let path = state.path_condition();
+    let path = state.path_cond();
     config
         .loop_fields
         .iter()
@@ -811,7 +899,7 @@ fn loop_snapshot(
                 Value::Concrete(v) => Some(IntervalSet::point(v as i128)),
                 Value::Sym { var, offset } => ctx
                     .solver
-                    .feasible_values(&path, var)
+                    .feasible_values_path(path, var)
                     .map(|set| set.shift(offset as i128)),
             },
         })
@@ -919,7 +1007,7 @@ fn exec_instr(
             };
             state.push_trace(TraceEntry::Instruction(format!("Constrain({cond})")));
             state.add_constraint(lowered);
-            if ctx.solver.is_unsat(&state.path_condition()) {
+            if ctx.solver.is_unsat_path(state.path_cond()) {
                 let detail = cond.to_string();
                 vec![Flow::dropped(state, DropReason::Unsatisfiable(detail))]
             } else {
@@ -970,7 +1058,7 @@ fn exec_instr(
                 let mut then_state = current_state.clone();
                 then_state.push_trace(TraceEntry::Instruction(format!("If({cond}) [then]")));
                 then_state.add_constraint(lowered.clone());
-                if ctx.solver.is_unsat(&then_state.path_condition()) {
+                if ctx.solver.is_unsat_path(then_state.path_cond()) {
                     flows.push(Flow::dropped(then_state, DropReason::InfeasibleBranch));
                 } else {
                     flows.extend(exec_instr(
@@ -985,7 +1073,7 @@ fn exec_instr(
                 // Else branch: continue the walk without recursing.
                 current_state.push_trace(TraceEntry::Instruction(format!("If({cond}) [else]")));
                 current_state.add_constraint(symnet_solver::Formula::not(lowered));
-                if ctx.solver.is_unsat(&current_state.path_condition()) {
+                if ctx.solver.is_unsat_path(current_state.path_cond()) {
                     flows.push(Flow::dropped(current_state, DropReason::InfeasibleBranch));
                     break;
                 }
@@ -1470,24 +1558,30 @@ mod tests {
             }
             (net, a)
         };
-        // Sequential: the cap is checked at dequeue time, so the run stops
-        // after the first step that reaches it (8 + 8 = 16 paths).
+        // The budget is reserved atomically at emission time, so the cap is
+        // exact at every thread count (which paths survive truncation is
+        // scheduling-dependent, the count is not).
+        for threads in [1usize, 4, 8] {
+            let (net, a) = build();
+            let config = ExecConfig {
+                max_paths: 10,
+                ..ExecConfig::default().with_threads(threads)
+            };
+            let report = SymNet::with_config(net, config).inject(a, 0, &symbolic_tcp_packet());
+            assert_eq!(
+                report.path_count(),
+                10,
+                "cap must be exact at {threads} threads"
+            );
+        }
+        // A cap above the true path count never truncates.
         let (net, a) = build();
         let config = ExecConfig {
-            max_paths: 10,
-            ..ExecConfig::default().with_threads(1)
-        };
-        let report = SymNet::with_config(net, config).inject(a, 0, &symbolic_tcp_packet());
-        assert_eq!(report.path_count(), 16);
-        // Parallel: the atomic cap is approximate (workers may each have one
-        // step in flight) but bounds the run and never under-produces.
-        let (net, a) = build();
-        let config = ExecConfig {
-            max_paths: 10,
+            max_paths: 1000,
             ..ExecConfig::default().with_threads(4)
         };
         let report = SymNet::with_config(net, config).inject(a, 0, &symbolic_tcp_packet());
-        assert!(report.path_count() >= 10 && report.path_count() <= 64);
+        assert_eq!(report.path_count(), 64);
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub fn report_to_json(report: &ExecutionReport, network: &Network) -> Json {
             "sat": report.solver_stats.sat,
             "unsat": report.solver_stats.unsat,
             "unknown": report.solver_stats.unknown,
+            // Incremental-solver reuse of shared path-condition prefixes.
+            // Deterministic across thread counts (the cache lives on the
+            // shared prefix node, not on the worker); the per-worker memo
+            // counters are deliberately absent here.
+            "prefix_cache_hits": report.solver_stats.prefix_hits,
+            "prefix_cache_misses": report.solver_stats.prefix_misses,
             "time_in_solver_us": report.solver_stats.time_in_solver.as_micros() as u64,
         },
         "wall_time_us": report.wall_time.as_micros() as u64,

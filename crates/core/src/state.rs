@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use symnet_sefl::cond::{Condition, RelOp};
 use symnet_sefl::expr::Expr;
 use symnet_sefl::field::{FieldRef, HeaderAddr, Visibility};
-use symnet_solver::{CmpOp, Formula, Term};
+use symnet_solver::{CmpOp, Formula, PathCond, Term};
 
 /// Default width (in bits) of metadata entries allocated without an explicit
 /// width.
@@ -53,8 +53,10 @@ pub struct ExecState {
     meta: BTreeMap<String, Vec<Slot>>,
     /// Tags: name → absolute bit address.
     tags: BTreeMap<String, i64>,
-    /// Path condition, as a conjunction of formulas.
-    constraints: Vec<Formula>,
+    /// Path condition, as a persistent (structurally shared) conjunction:
+    /// forked paths share their common prefix — and the solver analysis
+    /// cached on it — instead of deep-copying a constraint vector.
+    constraints: PathCond,
     /// Trace of ports visited and instructions executed.
     trace: Vec<TraceEntry>,
 }
@@ -510,16 +512,23 @@ impl ExecState {
     // Path condition and trace
     // ------------------------------------------------------------------
 
-    /// Adds a formula to the path condition.
+    /// Adds a formula to the path condition. O(1): the previous condition
+    /// becomes the shared prefix of the new one (`Formula::True` is absorbed).
     pub fn add_constraint(&mut self, formula: Formula) {
-        if formula != Formula::True {
-            self.constraints.push(formula);
-        }
+        self.constraints = self.constraints.push(formula);
     }
 
-    /// The path condition as a single conjunction.
+    /// The path condition as a shared-prefix handle — the representation the
+    /// incremental solver queries operate on ([`symnet_solver::Solver::check_path`]).
+    pub fn path_cond(&self) -> &PathCond {
+        &self.constraints
+    }
+
+    /// The path condition materialised as a single conjunction (insertion
+    /// order). O(n) — meant for reports and one-off queries, not the solving
+    /// hot path; prefer [`ExecState::path_cond`] there.
     pub fn path_condition(&self) -> Formula {
-        Formula::and(self.constraints.clone())
+        self.constraints.to_formula()
     }
 
     /// Number of conjuncts in the path condition.
@@ -530,7 +539,7 @@ impl ExecState {
     /// Total number of atoms across the path condition — the "number of
     /// constraints" metric reported in §8.1.
     pub fn constraint_atoms(&self) -> usize {
-        self.constraints.iter().map(Formula::atom_count).sum()
+        self.constraints.atom_count()
     }
 
     /// Appends a trace entry.

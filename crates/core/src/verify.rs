@@ -20,7 +20,7 @@ use crate::network::ElementId;
 use crate::state::ExecState;
 use crate::value::Value;
 use symnet_sefl::field::FieldRef;
-use symnet_solver::{CmpOp, Formula, IntervalSet, Solver};
+use symnet_solver::{CmpOp, Formula, IntervalSet, PathCond, Solver};
 
 /// Outcome of a semantic comparison under a path condition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,7 +33,10 @@ pub enum Tristate {
     Sometimes,
 }
 
-/// Compares two values under a path condition.
+/// Compares two values under a path condition given as a materialised
+/// formula. Prefer [`values_equal_path`] when the shared-prefix handle of an
+/// [`ExecState`] is at hand — it reuses the solver analysis cached on the
+/// path-condition nodes during execution.
 pub fn values_equal(
     solver: &mut Solver,
     path_condition: &Formula,
@@ -56,6 +59,29 @@ pub fn values_equal(
     }
 }
 
+/// Compares two values under a persistent path condition (see
+/// [`ExecState::path_cond`]): the condition's cached cube normalisation is
+/// reused and only the equality atom is folded in.
+pub fn values_equal_path(
+    solver: &mut Solver,
+    path_condition: &PathCond,
+    a: &Value,
+    b: &Value,
+) -> Tristate {
+    if a.same_value(b) {
+        return Tristate::Always;
+    }
+    let eq = Formula::cmp(CmpOp::Eq, a.to_term(), b.to_term());
+    if solver.implies_path(path_condition, &eq) {
+        return Tristate::Always;
+    }
+    if solver.check_assuming(path_condition, &eq).is_unsat() {
+        Tristate::Never
+    } else {
+        Tristate::Sometimes
+    }
+}
+
 /// Checks whether a header field is invariant between the injected packet and
 /// the end of a path: the value observed at the end is provably equal to the
 /// value the packet was injected with (§6 "Invariants" / "Header visibility").
@@ -67,9 +93,9 @@ pub fn field_invariant(
     let before = injected.read_field(field, "")?;
     let after = path.state.read_field(field, "")?;
     let mut solver = Solver::default();
-    Ok(values_equal(
+    Ok(values_equal_path(
         &mut solver,
-        &path.state.path_condition(),
+        path.state.path_cond(),
         &before.value,
         &after.value,
     ))
@@ -86,7 +112,7 @@ pub fn allowed_values(path: &PathReport, field: &FieldRef) -> Option<IntervalSet
         Value::Sym { var, offset } => {
             let mut solver = Solver::default();
             solver
-                .feasible_values(&path.state.path_condition(), var)
+                .feasible_values_path(path.state.path_cond(), var)
                 .map(|s| s.shift(offset as i128))
         }
     }

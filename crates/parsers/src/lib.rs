@@ -219,25 +219,44 @@ pub fn format_fib(fib: &Fib) -> String {
 
 /// Generates a seeded random tree topology of egress switches (for stress and
 /// property tests): `switches` nodes, each with `entries_per_switch` MAC
-/// entries, connected in a random tree rooted at element 0.
+/// entries, connected in a random tree rooted at element 0. Links run in both
+/// directions — every child's output port 0 goes up to its parent, and the
+/// parent's next free output port (1–3, first three children only) goes back
+/// down — so injecting at the root forks multiplicatively down the tree and
+/// the up/down cycles exercise the engine's loop detection.
 pub fn random_switch_tree(seed: u64, switches: usize, entries_per_switch: usize) -> Topology {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut network = Network::new();
     let mut elements = BTreeMap::new();
     let mut ids = Vec::new();
+    // MACs come from a shared pool (as hosts in one L2 domain would): the
+    // per-port groups of neighbouring switches then overlap, so a packet's
+    // accumulated constraints stay satisfiable across several hops instead of
+    // going unsat at the second switch.
+    let pool: Vec<u64> = (0..entries_per_switch.max(8))
+        .map(|_| rng.gen::<u64>() & 0xffff_ffff_ffff)
+        .collect();
     for s in 0..switches {
         let mut table = MacTable::new(4);
         for e in 0..entries_per_switch {
-            table.add(rng.gen::<u64>() & 0xffff_ffff_ffff, None, e % 4);
+            table.add(pool[rng.gen_range(0..pool.len())], None, e % 4);
         }
         let name = format!("sw{s}");
         let id = network.add_element(switch_egress(&name, &table));
         elements.insert(name, id);
         ids.push(id);
     }
+    // Output ports 1..=3 of each switch are available for down-links (port 0
+    // always points up); a parent with more than three children leaves the
+    // extra ones reachable only upward.
+    let mut next_down_port = vec![1usize; switches];
     for s in 1..switches {
-        let parent = ids[rng.gen_range(0..s)];
-        network.add_link(ids[s], 0, parent, 1);
+        let parent = rng.gen_range(0..s);
+        network.add_link(ids[s], 0, ids[parent], 1);
+        if next_down_port[parent] <= 3 {
+            network.add_link(ids[parent], next_down_port[parent], ids[s], 0);
+            next_down_port[parent] += 1;
+        }
     }
     Topology { network, elements }
 }
@@ -317,6 +336,8 @@ link sw1 1 -> r1 0
         let b = random_switch_tree(42, 6, 10);
         assert_eq!(a.network.element_count(), b.network.element_count());
         assert_eq!(a.network.link_count(), b.network.link_count());
-        assert_eq!(a.network.link_count(), 5);
+        // 5 up-links, plus one down-link per child that found a free parent
+        // port (at most three per parent).
+        assert!(a.network.link_count() >= 5 && a.network.link_count() <= 10);
     }
 }

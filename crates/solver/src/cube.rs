@@ -134,6 +134,45 @@ pub fn to_cubes(formula: &Formula, max_cubes: usize) -> Result<Vec<Cube>, CubeOv
         .collect())
 }
 
+/// Folds one more conjunct into an existing cube list — the incremental
+/// counterpart of the `And` case of [`build`], used by the prefix-cached path
+/// solver: the cubes of `P` are reused verbatim and only `part` is normalised.
+/// `acc` must already be contradiction-free (as produced by [`to_cubes`] or a
+/// previous `append_conjunct`).
+pub(crate) fn append_conjunct(
+    acc: &[Cube],
+    part: &Formula,
+    max_cubes: usize,
+) -> Result<Vec<Cube>, CubeOverflow> {
+    let part_cubes = build(part, max_cubes)?;
+    if part_cubes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out;
+    if part_cubes.len() == 1 {
+        out = acc.to_vec();
+        for cube in &mut out {
+            cube.merge(&part_cubes[0]);
+        }
+    } else {
+        out = Vec::with_capacity(acc.len() * part_cubes.len());
+        for a in acc {
+            for b in &part_cubes {
+                if out.len() >= max_cubes {
+                    return Err(CubeOverflow { max_cubes });
+                }
+                let mut merged = a.clone();
+                merged.merge(b);
+                if !merged.is_contradictory() {
+                    out.push(merged);
+                }
+            }
+        }
+    }
+    out.retain(|c| !c.is_contradictory());
+    Ok(out)
+}
+
 fn build(formula: &Formula, max_cubes: usize) -> Result<Vec<Cube>, CubeOverflow> {
     // Single-variable sub-formulas collapse to one literal.
     let vars = formula.variables();

@@ -13,13 +13,15 @@
 //!    against every literal — `Sat` is only ever reported together with a
 //!    verified [`Model`].
 
-use crate::cube::{to_cubes, Cube, Literal};
+use crate::cube::{append_conjunct, to_cubes, Cube, CubeOverflow, Literal};
 use crate::formula::{CmpOp, Formula};
 use crate::interval::IntervalSet;
 use crate::model::Model;
+use crate::path::{NodeCache, PathCond, PathNode};
 use crate::stats::SolverStats;
 use crate::term::SymVar;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, MutexGuard};
 use std::time::Instant;
 
 /// Tunable limits of the decision procedure.
@@ -36,6 +38,11 @@ pub struct SolverConfig {
     /// Number of sample values drawn from each variable domain during the
     /// witness search.
     pub samples_per_var: usize,
+    /// Use the incremental prefix-cached procedure for [`PathCond`] queries
+    /// ([`Solver::check_path`] and friends). When disabled, path queries are
+    /// materialised into a single formula and solved from scratch — the
+    /// baseline the benchmarks compare against.
+    pub incremental: bool,
 }
 
 impl Default for SolverConfig {
@@ -45,6 +52,7 @@ impl Default for SolverConfig {
             max_model_attempts: 4096,
             max_propagation_rounds: 64,
             samples_per_var: 6,
+            incremental: true,
         }
     }
 }
@@ -72,13 +80,44 @@ impl SolverResult {
     }
 }
 
+/// Per-worker memo caches are cleared once they reach this many entries (a
+/// crude bound that keeps long runs from hoarding memory; correctness does not
+/// depend on what survives).
+const MEMO_CAPACITY: usize = 8192;
+
+/// The cube normalisation of a path-condition prefix, or the budget overflow
+/// that aborted it.
+type CachedCubes = Result<Arc<Vec<Cube>>, CubeOverflow>;
+
 /// The constraint solver. Create one per analysis (it accumulates statistics)
 /// and reuse it across queries.
+///
+/// Two layers of caching sit in front of the decision procedure:
+///
+/// * the **prefix cache** lives on [`PathCond`] nodes (shared by every path
+///   that forked from the same prefix and by every worker) and stores the cube
+///   normalisation plus verdict of each prefix, so checking `P ∧ c` reuses the
+///   analysis of `P` and only folds in `c`;
+/// * the **memo caches** are per-solver (per-worker) maps from whole formulas
+///   (resp. `(prefix, variable)` projections) to results, absorbing repeated
+///   identical queries.
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
     /// Limits of the decision procedure.
     pub config: SolverConfig,
     stats: SolverStats,
+    /// Formula → (result, cubes examined) memo for [`Solver::check`].
+    memo_check: HashMap<Formula, (SolverResult, u64)>,
+    /// (prefix node id, variable) → (projection, cubes examined) memo for
+    /// [`Solver::feasible_values_path`].
+    memo_feasible: HashMap<(u64, SymVar), (Option<IntervalSet>, u64)>,
+    /// (parent node id, conjunct) → (cubes, result, cubes examined) memo for
+    /// [`Solver::check_path`]. Catches *content* repetition the identity-keyed
+    /// prefix cache cannot see: sibling paths that extend the same shared
+    /// prefix with an identical conjunct get distinct nodes, but their cube
+    /// fold and verdict are the same.
+    #[allow(clippy::type_complexity)]
+    memo_path: HashMap<(u64, Formula), (CachedCubes, SolverResult, u64)>,
 }
 
 impl Solver {
@@ -86,7 +125,7 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             config,
-            stats: SolverStats::default(),
+            ..Solver::default()
         }
     }
 
@@ -108,20 +147,56 @@ impl Solver {
         self.stats
     }
 
-    /// Decides satisfiability of `formula`.
+    /// Decides satisfiability of `formula`. Repeated queries for the same
+    /// formula are answered from a per-solver memo cache.
     pub fn check(&mut self, formula: &Formula) -> SolverResult {
         let start = Instant::now();
         self.stats.calls += 1;
-        let result = match to_cubes(formula, self.config.max_cubes) {
-            Err(_) => {
-                self.stats.unknown += 1;
-                SolverResult::Unknown
-            }
+        if let Some((result, examined)) = self.memo_check.get(formula) {
+            let (result, examined) = (result.clone(), *examined);
+            self.stats.memo_hits += 1;
+            // Replay the work counters of the original computation so the
+            // aggregate statistics count queries, not cache topology.
+            self.stats.cubes_examined += examined;
+            self.record_outcome(&result);
+            self.stats.time_in_solver += start.elapsed();
+            return result;
+        }
+        self.stats.memo_misses += 1;
+        let (result, examined) = self.solve_formula(formula);
+        self.stats.cubes_examined += examined;
+        self.record_outcome(&result);
+        if self.memo_check.len() >= MEMO_CAPACITY {
+            self.memo_check.clear();
+        }
+        self.memo_check
+            .insert(formula.clone(), (result.clone(), examined));
+        self.stats.time_in_solver += start.elapsed();
+        result
+    }
+
+    /// [`Solver::check`] with every cache bypassed — the honest from-scratch
+    /// baseline the `SolverConfig::incremental = false` fallbacks use, so the
+    /// benchmarked comparison really re-solves the whole condition per query.
+    fn check_uncached(&mut self, formula: &Formula) -> SolverResult {
+        let start = Instant::now();
+        self.stats.calls += 1;
+        let (result, examined) = self.solve_formula(formula);
+        self.stats.cubes_examined += examined;
+        self.record_outcome(&result);
+        self.stats.time_in_solver += start.elapsed();
+        result
+    }
+
+    /// Normalises and decides one formula from scratch, returning the result
+    /// and the number of cubes examined. No statistics are touched.
+    fn solve_formula(&self, formula: &Formula) -> (SolverResult, u64) {
+        match to_cubes(formula, self.config.max_cubes) {
+            Err(_) => (SolverResult::Unknown, 0),
             Ok(cubes) => {
-                let mut res = SolverResult::Unsat;
-                for cube in &cubes {
-                    self.stats.cubes_examined += 1;
-                    if let Some(mut model) = self.solve_cube(cube) {
+                let (result, examined) = self.solve_cubes(&cubes);
+                let result = match result {
+                    SolverResult::Sat(mut model) => {
                         // Variables of the formula that the satisfied cube does
                         // not mention are unconstrained on this disjunct; give
                         // them a default value so the model is total.
@@ -131,19 +206,36 @@ impl Solver {
                             }
                         }
                         debug_assert!(model.satisfies(formula) || formula.variables().is_empty());
-                        res = SolverResult::Sat(model);
-                        break;
+                        SolverResult::Sat(model)
                     }
-                }
-                match &res {
-                    SolverResult::Sat(_) => self.stats.sat += 1,
-                    _ => self.stats.unsat += 1,
-                }
-                res
+                    other => other,
+                };
+                (result, examined)
             }
-        };
-        self.stats.time_in_solver += start.elapsed();
-        result
+        }
+    }
+
+    /// The core decision loop: examines cubes in order, first satisfiable cube
+    /// wins. Returns the result (a `Sat` model covers only the winning cube's
+    /// variables) and the number of cubes examined. No statistics are touched.
+    fn solve_cubes(&self, cubes: &[Cube]) -> (SolverResult, u64) {
+        let mut examined = 0u64;
+        for cube in cubes {
+            examined += 1;
+            if let Some(model) = self.solve_cube(cube) {
+                return (SolverResult::Sat(model), examined);
+            }
+        }
+        (SolverResult::Unsat, examined)
+    }
+
+    /// Bumps the sat/unsat/unknown counter matching a result.
+    fn record_outcome(&mut self, result: &SolverResult) {
+        match result {
+            SolverResult::Sat(_) => self.stats.sat += 1,
+            SolverResult::Unsat => self.stats.unsat += 1,
+            SolverResult::Unknown => self.stats.unknown += 1,
+        }
     }
 
     /// True if the formula is satisfiable.
@@ -182,6 +274,234 @@ impl Solver {
         self.is_unsat(&query)
     }
 
+    // ------------------------------------------------------------------
+    // Incremental queries over persistent path conditions
+    // ------------------------------------------------------------------
+
+    /// Decides satisfiability of a persistent path condition, reusing the
+    /// analysis cached on its shared prefix nodes: only conjuncts that no
+    /// earlier query has normalised are folded in, and a prefix that was
+    /// already decided is answered without touching the decision procedure at
+    /// all. With [`SolverConfig::incremental`] disabled this materialises the
+    /// condition and solves it from scratch (the benchmark baseline).
+    ///
+    /// A `Sat` answer carries a witness for the variables of the satisfying
+    /// cube (unlike [`Solver::check`], unmentioned variables are not padded).
+    pub fn check_path(&mut self, path: &PathCond) -> SolverResult {
+        if !self.config.incremental {
+            return self.check_uncached(&path.to_formula());
+        }
+        let start = Instant::now();
+        self.stats.calls += 1;
+        let result = self.check_path_inner(path);
+        self.record_outcome(&result);
+        self.stats.time_in_solver += start.elapsed();
+        result
+    }
+
+    fn check_path_inner(&mut self, path: &PathCond) -> SolverResult {
+        let Some(node) = path.node() else {
+            return SolverResult::Sat(Model::new());
+        };
+        let node = Arc::clone(node);
+        let mut guard = node.cache.lock().expect("path node cache poisoned");
+        if let Some(result) = &guard.result {
+            self.stats.prefix_hits += 1;
+            return result.clone();
+        }
+        // Content memo: a sibling extension of the same parent node with an
+        // identical conjunct has the same cubes and verdict (cubes are a
+        // function of the parent's cube list and the conjunct alone). Replay
+        // the counter pattern of a real computation — tip miss, parent reuse,
+        // cubes examined — so the shared prefix counters stay independent of
+        // which per-worker memo answered.
+        let parent_id = node.parent().node().map_or(0, |p| p.id());
+        let key = (parent_id, node.formula().clone());
+        if let Some((cubes, result, examined)) = self.memo_path.get(&key) {
+            let (cubes, result, examined) = (cubes.clone(), result.clone(), *examined);
+            self.stats.memo_hits += 1;
+            self.stats.prefix_misses += 1;
+            if parent_id != 0 {
+                self.stats.prefix_hits += 1;
+            }
+            self.stats.cubes_examined += examined;
+            guard.cubes = Some(cubes);
+            guard.result = Some(result.clone());
+            return result;
+        }
+        self.stats.memo_misses += 1;
+        let (result, examined) = match self.cubes_locked(&node, &mut guard, true) {
+            Err(_) => (SolverResult::Unknown, 0),
+            Ok(cubes) => self.solve_cubes(&cubes),
+        };
+        self.stats.cubes_examined += examined;
+        guard.result = Some(result.clone());
+        if let Some(cubes) = &guard.cubes {
+            if self.memo_path.len() >= MEMO_CAPACITY {
+                self.memo_path.clear();
+            }
+            self.memo_path
+                .insert(key, (cubes.clone(), result.clone(), examined));
+        }
+        result
+    }
+
+    /// True if the path condition is satisfiable.
+    pub fn is_sat_path(&mut self, path: &PathCond) -> bool {
+        self.check_path(path).is_sat()
+    }
+
+    /// True if the path condition is proven unsatisfiable (`Unknown` returns
+    /// false, as for [`Solver::is_unsat`]).
+    pub fn is_unsat_path(&mut self, path: &PathCond) -> bool {
+        self.check_path(path).is_unsat()
+    }
+
+    /// Decides `path ∧ extra` without extending the path condition: the cached
+    /// cube normalisation of `path` is reused and only `extra` is folded in.
+    /// Used for one-off queries (invariance checks) that must not pollute the
+    /// shared prefix chain.
+    pub fn check_assuming(&mut self, path: &PathCond, extra: &Formula) -> SolverResult {
+        if !self.config.incremental {
+            return self.check_uncached(&Formula::and(vec![path.to_formula(), extra.clone()]));
+        }
+        let start = Instant::now();
+        self.stats.calls += 1;
+        let (result, examined) = match self.prefix_cubes(path, true) {
+            Err(_) => (SolverResult::Unknown, 0),
+            Ok(prefix) => match append_conjunct(&prefix, extra, self.config.max_cubes) {
+                Err(_) => (SolverResult::Unknown, 0),
+                Ok(cubes) => self.solve_cubes(&cubes),
+            },
+        };
+        self.stats.cubes_examined += examined;
+        self.record_outcome(&result);
+        self.stats.time_in_solver += start.elapsed();
+        result
+    }
+
+    /// True if every packet admitted by `path` satisfies `conclusion`
+    /// (`path ∧ ¬conclusion` is unsatisfiable).
+    pub fn implies_path(&mut self, path: &PathCond, conclusion: &Formula) -> bool {
+        self.check_assuming(path, &Formula::not(conclusion.clone()))
+            .is_unsat()
+    }
+
+    /// Projects a persistent path condition onto one variable (the incremental
+    /// counterpart of [`Solver::feasible_values`]). Results are memoised per
+    /// `(prefix, variable)` in this solver: the engine queries the same
+    /// projection for every loop-detection field at every port arrival, and
+    /// sibling paths forked from one prefix repeat the identical query.
+    pub fn feasible_values_path(&mut self, path: &PathCond, var: SymVar) -> Option<IntervalSet> {
+        if !self.config.incremental {
+            return self.feasible_values(&path.to_formula(), var);
+        }
+        let start = Instant::now();
+        self.stats.calls += 1;
+        let key = (path.node().map_or(0, |n| n.id()), var);
+        if let Some((cached, examined)) = self.memo_feasible.get(&key) {
+            let (result, examined) = (cached.clone(), *examined);
+            self.stats.memo_hits += 1;
+            self.stats.cubes_examined += examined;
+            match &result {
+                Some(_) => self.stats.sat += 1,
+                None => self.stats.unknown += 1,
+            }
+            self.stats.time_in_solver += start.elapsed();
+            return result;
+        }
+        self.stats.memo_misses += 1;
+        // Quiet prefix access: whether this worker's memo already held the
+        // projection is scheduling-dependent, so the shared prefix counters
+        // must not be driven from here.
+        let (result, examined) = match self.prefix_cubes(path, false) {
+            Err(_) => {
+                self.stats.unknown += 1;
+                (None, 0)
+            }
+            Ok(cubes) => {
+                let (acc, examined) = self.project_cubes(&cubes, var);
+                self.stats.sat += 1;
+                (Some(acc), examined)
+            }
+        };
+        self.stats.cubes_examined += examined;
+        if self.memo_feasible.len() >= MEMO_CAPACITY {
+            self.memo_feasible.clear();
+        }
+        self.memo_feasible.insert(key, (result.clone(), examined));
+        self.stats.time_in_solver += start.elapsed();
+        result
+    }
+
+    /// Projects a cube list onto one variable: the union of the per-cube
+    /// feasible sets of `var`, clamped to its width domain, plus the number of
+    /// cubes examined. No statistics are touched.
+    fn project_cubes(&self, cubes: &[Cube], var: SymVar) -> (IntervalSet, u64) {
+        let (lo, hi) = var.domain();
+        let mut acc = IntervalSet::empty();
+        let mut examined = 0u64;
+        for cube in cubes {
+            examined += 1;
+            if let Some((mut uf, domains)) = self.propagate_cube(cube) {
+                let (root, delta) = uf.find(var);
+                let set = domains
+                    .get(&root)
+                    .cloned()
+                    .unwrap_or_else(|| IntervalSet::range(lo - delta, hi - delta))
+                    .shift(delta);
+                acc = acc.union(&set.intersect(&IntervalSet::range(lo, hi)));
+            }
+        }
+        (acc, examined)
+    }
+
+    /// The cached cube normalisation of a whole path condition (an empty
+    /// condition is the single trivially-true cube).
+    fn prefix_cubes(
+        &mut self,
+        path: &PathCond,
+        counted: bool,
+    ) -> Result<Arc<Vec<Cube>>, CubeOverflow> {
+        match path.node() {
+            None => Ok(Arc::new(vec![Cube::default()])),
+            Some(node) => {
+                let node = Arc::clone(node);
+                let mut guard = node.cache.lock().expect("path node cache poisoned");
+                self.cubes_locked(&node, &mut guard, counted)
+            }
+        }
+    }
+
+    /// Returns the cube normalisation of the prefix ending at `node`, whose
+    /// cache guard the caller already holds, computing and caching it (and any
+    /// uncached ancestors) on demand. Locks are only ever taken child→parent,
+    /// so concurrent workers cannot deadlock, and holding the guard across the
+    /// computation means every prefix is analysed at most once process-wide —
+    /// which keeps the hit/miss counters identical for every thread count.
+    fn cubes_locked(
+        &mut self,
+        node: &PathNode,
+        guard: &mut MutexGuard<'_, NodeCache>,
+        counted: bool,
+    ) -> Result<Arc<Vec<Cube>>, CubeOverflow> {
+        if let Some(cached) = &guard.cubes {
+            if counted {
+                self.stats.prefix_hits += 1;
+            }
+            return cached.clone();
+        }
+        if counted {
+            self.stats.prefix_misses += 1;
+        }
+        let parent_cubes = self.prefix_cubes(node.parent(), counted);
+        let computed = parent_cubes.and_then(|prefix| {
+            append_conjunct(&prefix, node.formula(), self.config.max_cubes).map(Arc::new)
+        });
+        guard.cubes = Some(computed.clone());
+        computed
+    }
+
     /// Projects a formula onto one variable: the set of values `var` can take
     /// in *some* satisfying assignment. The result is exact for single-variable
     /// formulas and a (sound) over-approximation in the presence of
@@ -196,23 +516,8 @@ impl Solver {
                 None
             }
             Ok(cubes) => {
-                let mut acc = IntervalSet::empty();
-                for cube in &cubes {
-                    self.stats.cubes_examined += 1;
-                    if let Some((mut uf, domains)) = self.propagate_cube(cube) {
-                        let (root, delta) = uf.find(var);
-                        let set = domains
-                            .get(&root)
-                            .cloned()
-                            .unwrap_or_else(|| {
-                                let (lo, hi) = var.domain();
-                                IntervalSet::range(lo - delta, hi - delta)
-                            })
-                            .shift(delta);
-                        let (lo, hi) = var.domain();
-                        acc = acc.union(&set.intersect(&IntervalSet::range(lo, hi)));
-                    }
-                }
+                let (acc, examined) = self.project_cubes(&cubes, var);
+                self.stats.cubes_examined += examined;
                 self.stats.sat += 1;
                 Some(acc)
             }
@@ -747,6 +1052,81 @@ mod tests {
         assert_eq!(s.stats().unsat, 1);
         s.reset_stats();
         assert_eq!(s.stats().calls, 0);
+    }
+
+    #[test]
+    fn prefix_sharing_chain_hits_the_caches() {
+        use crate::path::PathCond;
+        let mut s = solver();
+        let x = v(0, 16);
+        let y = v(1, 16);
+        let base = PathCond::empty()
+            .push(Formula::cmp_const(CmpOp::Ge, x, 10))
+            .push(Formula::cmp_const(CmpOp::Le, x, 500));
+        assert!(s.check_path(&base).is_sat());
+        let after_base = s.stats().clone();
+        assert!(after_base.prefix_misses > 0);
+
+        // Two extensions forked from the same prefix: both reuse the cached
+        // analysis of `base` and only fold in their own conjunct.
+        let a = base.push(Formula::eq_const(y, 7));
+        let b = base.push(Formula::cmp_const(CmpOp::Gt, x, 1000));
+        assert!(s.check_path(&a).is_sat());
+        assert!(s.check_path(&b).is_unsat());
+        assert!(
+            s.stats().prefix_hits > after_base.prefix_hits,
+            "extensions must reuse the shared prefix: {:?}",
+            s.stats()
+        );
+
+        // Re-checking an already-decided prefix is a pure cache hit.
+        let before = s.stats().clone();
+        assert!(s.check_path(&a).is_sat());
+        assert_eq!(s.stats().prefix_hits, before.prefix_hits + 1);
+        assert_eq!(s.stats().cubes_examined, before.cubes_examined);
+
+        // A structurally identical sibling extension (distinct node, same
+        // parent and conjunct) is answered by the content-keyed memo.
+        let twin = base.push(Formula::eq_const(y, 7));
+        let before_memo = s.stats().memo_hits;
+        assert!(s.check_path(&twin).is_sat());
+        assert_eq!(s.stats().memo_hits, before_memo + 1);
+
+        // Projection memo: the same (prefix, variable) projection twice.
+        let first = s.feasible_values_path(&a, x).unwrap();
+        let memo_before = s.stats().memo_hits;
+        let second = s.feasible_values_path(&a, x).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s.stats().memo_hits, memo_before + 1);
+
+        // The caches never change answers: a fresh from-scratch solver agrees.
+        let mut scratch = Solver::with_config(SolverConfig {
+            incremental: false,
+            ..SolverConfig::default()
+        });
+        assert!(scratch.check_path(&a).is_sat());
+        assert!(scratch.check_path(&b).is_unsat());
+        assert_eq!(scratch.feasible_values_path(&a, x), Some(first));
+    }
+
+    #[test]
+    fn check_memo_replays_results() {
+        let mut s = solver();
+        let x = v(0, 8);
+        let f = Formula::and(vec![
+            Formula::cmp_const(CmpOp::Ge, x, 3),
+            Formula::cmp_const(CmpOp::Le, x, 9),
+        ]);
+        assert!(s.check(&f).is_sat());
+        let after_first = s.stats().clone();
+        assert_eq!(after_first.memo_misses, 1);
+        assert!(s.check(&f).is_sat());
+        let after_second = s.stats();
+        assert_eq!(after_second.memo_hits, 1);
+        // The replayed query counts like the original.
+        assert_eq!(after_second.calls, 2);
+        assert_eq!(after_second.sat, 2);
+        assert_eq!(after_second.cubes_examined, after_first.cubes_examined * 2);
     }
 
     #[test]

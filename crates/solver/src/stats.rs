@@ -21,6 +21,24 @@ pub struct SolverStats {
     pub unknown: u64,
     /// Total number of cubes examined.
     pub cubes_examined: u64,
+    /// Prefix-cache hits: queries (or sub-steps of queries) answered from the
+    /// analysis cached on a shared [`crate::PathCond`] node — either a whole
+    /// cached verdict or the cached cube normalisation of the prefix that only
+    /// the newest conjunct was folded into. Deterministic across thread
+    /// counts: the cache lives on the shared node, not on the worker.
+    pub prefix_hits: u64,
+    /// Prefix-cache misses: path-condition nodes whose analysis had to be
+    /// computed (each node is analysed at most once, process-wide).
+    pub prefix_misses: u64,
+    /// Per-worker memo-cache hits (formula→result and projection memos).
+    /// Excluded from serialized reports: which worker answers a query — and
+    /// therefore which per-worker memo it hits — is scheduling-dependent.
+    #[serde(skip)]
+    pub memo_hits: u64,
+    /// Per-worker memo-cache misses (excluded from serialized reports, see
+    /// [`SolverStats::memo_hits`]).
+    #[serde(skip)]
+    pub memo_misses: u64,
     /// Cumulative wall-clock time spent inside the solver.
     #[serde(with = "duration_micros")]
     pub time_in_solver: Duration,
@@ -39,6 +57,10 @@ impl SolverStats {
         self.unsat += other.unsat;
         self.unknown += other.unknown;
         self.cubes_examined += other.cubes_examined;
+        self.prefix_hits += other.prefix_hits;
+        self.prefix_misses += other.prefix_misses;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
         self.time_in_solver += other.time_in_solver;
     }
 }
@@ -68,6 +90,10 @@ mod tests {
             unsat: 1,
             unknown: 0,
             cubes_examined: 5,
+            prefix_hits: 4,
+            prefix_misses: 2,
+            memo_hits: 1,
+            memo_misses: 3,
             time_in_solver: Duration::from_millis(10),
         };
         let b = SolverStats {
@@ -76,6 +102,10 @@ mod tests {
             unsat: 0,
             unknown: 1,
             cubes_examined: 7,
+            prefix_hits: 1,
+            prefix_misses: 1,
+            memo_hits: 2,
+            memo_misses: 1,
             time_in_solver: Duration::from_millis(5),
         };
         a.merge(&b);
@@ -84,6 +114,10 @@ mod tests {
         assert_eq!(a.unsat, 1);
         assert_eq!(a.unknown, 1);
         assert_eq!(a.cubes_examined, 12);
+        assert_eq!(a.prefix_hits, 5);
+        assert_eq!(a.prefix_misses, 3);
+        assert_eq!(a.memo_hits, 3);
+        assert_eq!(a.memo_misses, 4);
         assert_eq!(a.time_in_solver, Duration::from_millis(15));
         a.reset();
         assert_eq!(a, SolverStats::default());

@@ -1,8 +1,9 @@
-//! Property-based tests for the solver's core data structures and the
-//! soundness of its satisfiability answers.
+//! Property-based tests for the solver's core data structures, the soundness
+//! of its satisfiability answers, and the agreement of the incremental
+//! prefix-cached procedure with from-scratch solving.
 
 use proptest::prelude::*;
-use symnet_solver::{CmpOp, Formula, IntervalSet, Solver, SymVar};
+use symnet_solver::{CmpOp, Formula, IntervalSet, PathCond, Solver, SymVar, Term};
 
 /// Strategy producing small interval sets inside a bounded universe.
 fn interval_set(universe: i128) -> impl Strategy<Value = IntervalSet> {
@@ -99,13 +100,61 @@ proptest! {
         prop_assert_eq!(result.is_unsat(), !brute);
     }
 
+    /// The incremental prefix-cached solver must agree with a fresh
+    /// from-scratch `Solver` at every step of a random conjunct chain: same
+    /// SAT/UNSAT verdicts and identical feasible-value intervals.
+    #[test]
+    fn incremental_agrees_with_scratch_on_chains(
+        ops in prop::collection::vec((0usize..8, 0u64..3, 0u64..3, 0u64..64), 1..10),
+    ) {
+        let vars: Vec<SymVar> = (0..3).map(|i| SymVar::new(i, 6)).collect();
+        let mut incremental = Solver::default();
+        let mut cond = PathCond::empty();
+        for (kind, a, b, value) in &ops {
+            let (va, vb) = (vars[*a as usize], vars[*b as usize]);
+            let conjunct = match kind {
+                0 => Formula::eq_const(va, *value),
+                1 => Formula::ne_const(va, *value),
+                2 => Formula::cmp_const(CmpOp::Le, va, *value),
+                3 => Formula::cmp_const(CmpOp::Ge, va, *value),
+                4 => Formula::cmp(CmpOp::Eq, Term::var(va), Term::var(vb).plus((*value as i128) % 8)),
+                5 => Formula::cmp(CmpOp::Lt, Term::var(va), Term::var(vb)),
+                6 => Formula::prefix_match(va, *value, (*value % 7) as u8),
+                _ => Formula::or(vec![
+                    Formula::eq_const(va, *value),
+                    Formula::cmp_const(CmpOp::Ge, vb, *value),
+                ]),
+            };
+            cond = cond.push(conjunct);
+            // Verdict agreement at every prefix of the chain, against a fresh
+            // from-scratch solver (no shared caches).
+            let mut scratch = Solver::default();
+            let materialised = cond.to_formula();
+            let inc = incremental.check_path(&cond);
+            let scr = scratch.check(&materialised);
+            prop_assert_eq!(inc.is_sat(), scr.is_sat());
+            prop_assert_eq!(inc.is_unsat(), scr.is_unsat());
+            // Feasible-value projections must be identical sets.
+            for var in &vars {
+                let a = incremental.feasible_values_path(&cond, *var);
+                let b = scratch.feasible_values(&materialised, *var);
+                prop_assert_eq!(a, b);
+            }
+        }
+        // Re-checking the full chain is answered from the caches with the
+        // same verdict.
+        let mut scratch = Solver::default();
+        let again = incremental.check_path(&cond);
+        prop_assert_eq!(again.is_sat(), scratch.check(&cond.to_formula()).is_sat());
+        prop_assert!(incremental.stats().prefix_hits > 0);
+    }
+
     /// Two-variable conjunctions of constant comparisons and one cross
     /// equality, cross-checked by brute force over 6-bit domains.
     #[test]
     fn cross_equality_agrees_with_bruteforce(
         xa in 0u64..64, xb in 0u64..64, offset in -8i128..8,
     ) {
-        use symnet_solver::Term;
         let x = SymVar::new(0, 6);
         let y = SymVar::new(1, 6);
         let f = Formula::and(vec![

@@ -3,11 +3,13 @@
 //! Mirrors the call-site API the workspace benches use (`Criterion`,
 //! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `black_box`, `criterion_group!`, `criterion_main!`). Each benchmark runs
-//! one warm-up iteration plus `sample_size` timed iterations, prints a
-//! one-line summary and writes `estimates.json`
-//! (`{"mean": {"point_estimate": <nanoseconds>}, "sample_size": N}`) under
+//! one warm-up iteration plus `sample_size` individually-timed iterations,
+//! prints a one-line summary and writes `estimates.json`
+//! (`{"mean": {"point_estimate": <ns>}, "median": {"point_estimate": <ns>},
+//! "std_dev": {"point_estimate": <ns>}, "sample_size": N}`) under
 //! `target/criterion/<group>/<id>/`, so downstream tooling can scrape the
-//! numbers the way it would scrape real criterion output.
+//! numbers — including run-to-run variance — the way it would scrape real
+//! criterion output.
 
 use std::hint;
 use std::path::PathBuf;
@@ -76,23 +78,67 @@ impl From<String> for BenchmarkId2 {
     }
 }
 
+/// Summary statistics of one benchmark's measured iterations.
+#[derive(Clone, Copy, Debug)]
+struct Estimates {
+    mean_ns: f64,
+    median_ns: f64,
+    std_dev_ns: f64,
+}
+
+impl Estimates {
+    /// Computes mean, median and (population) standard deviation from the
+    /// per-iteration samples.
+    fn from_samples(samples_ns: &[f64]) -> Estimates {
+        if samples_ns.is_empty() {
+            return Estimates {
+                mean_ns: f64::NAN,
+                median_ns: f64::NAN,
+                std_dev_ns: f64::NAN,
+            };
+        }
+        let n = samples_ns.len() as f64;
+        let mean = samples_ns.iter().sum::<f64>() / n;
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let variance = samples_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        Estimates {
+            mean_ns: mean,
+            median_ns: median,
+            std_dev_ns: variance.sqrt(),
+        }
+    }
+}
+
 /// The timing driver handed to benchmark closures.
 pub struct Bencher {
     samples: usize,
-    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
-    mean_ns: f64,
+    /// Summary of the measured iterations, filled by [`Bencher::iter`].
+    estimates: Estimates,
 }
 
 impl Bencher {
-    /// Times `routine`: one warm-up call plus `sample_size` measured calls.
+    /// Times `routine`: one warm-up call plus `sample_size` individually
+    /// measured calls (per-iteration timing enables the median and standard
+    /// deviation estimates).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         black_box(routine());
-        let start = Instant::now();
+        let mut samples_ns = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
+            let start = Instant::now();
             black_box(routine());
+            samples_ns.push(start.elapsed().as_nanos() as f64);
         }
-        let total = start.elapsed();
-        self.mean_ns = total.as_nanos() as f64 / self.samples as f64;
+        self.estimates = Estimates::from_samples(&samples_ns);
     }
 }
 
@@ -119,11 +165,11 @@ impl<'a> BenchmarkGroup<'a> {
         let id = id.into().0;
         let mut bencher = Bencher {
             samples: self.sample_size,
-            mean_ns: f64::NAN,
+            estimates: Estimates::from_samples(&[]),
         };
         f(&mut bencher);
         self.criterion
-            .record(&self.name, &id, bencher.mean_ns, self.sample_size);
+            .record(&self.name, &id, bencher.estimates, self.sample_size);
         self
     }
 
@@ -136,11 +182,11 @@ impl<'a> BenchmarkGroup<'a> {
         let id = id.into().0;
         let mut bencher = Bencher {
             samples: self.sample_size,
-            mean_ns: f64::NAN,
+            estimates: Estimates::from_samples(&[]),
         };
         f(&mut bencher, input);
         self.criterion
-            .record(&self.name, &id, bencher.mean_ns, self.sample_size);
+            .record(&self.name, &id, bencher.estimates, self.sample_size);
         self
     }
 
@@ -201,15 +247,21 @@ impl Criterion {
         self
     }
 
-    fn record(&mut self, group: &str, id: &str, mean_ns: f64, samples: usize) {
+    fn record(&mut self, group: &str, id: &str, estimates: Estimates, samples: usize) {
+        let Estimates {
+            mean_ns,
+            median_ns,
+            std_dev_ns,
+        } = estimates;
         let label = if group.is_empty() {
             id.to_string()
         } else {
             format!("{group}/{id}")
         };
         println!(
-            "bench {label:<60} {:>12}  ({samples} samples)",
-            human(mean_ns)
+            "bench {label:<60} {:>12} ±{:>10}  ({samples} samples)",
+            human(mean_ns),
+            human(std_dev_ns)
         );
         let dir = if group.is_empty() {
             self.output_dir.join(id)
@@ -218,7 +270,10 @@ impl Criterion {
         };
         if std::fs::create_dir_all(&dir).is_ok() {
             let json = format!(
-                "{{\"mean\": {{\"point_estimate\": {mean_ns}}}, \"sample_size\": {samples}}}\n"
+                "{{\"mean\": {{\"point_estimate\": {mean_ns}}}, \
+                 \"median\": {{\"point_estimate\": {median_ns}}}, \
+                 \"std_dev\": {{\"point_estimate\": {std_dev_ns}}}, \
+                 \"sample_size\": {samples}}}\n"
             );
             let _ = std::fs::write(dir.join("estimates.json"), json);
         }
@@ -294,7 +349,27 @@ mod tests {
             .join("g")
             .join("count")
             .join("estimates.json");
-        assert!(estimates.exists());
+        let text = std::fs::read_to_string(&estimates).expect("estimates written");
+        for field in [
+            "\"mean\"",
+            "\"median\"",
+            "\"std_dev\"",
+            "\"sample_size\": 3",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn estimates_statistics() {
+        let e = Estimates::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((e.mean_ns - 5.0).abs() < 1e-9);
+        assert!((e.median_ns - 4.5).abs() < 1e-9);
+        assert!((e.std_dev_ns - 2.0).abs() < 1e-9);
+        // Odd-length median is the middle sample.
+        let o = Estimates::from_samples(&[3.0, 1.0, 2.0]);
+        assert!((o.median_ns - 2.0).abs() < 1e-9);
+        assert!(Estimates::from_samples(&[]).mean_ns.is_nan());
     }
 }

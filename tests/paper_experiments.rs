@@ -131,4 +131,41 @@ fn sec84_and_sec85_reports_generate() {
     assert!(text.contains("all via ASA: true"));
     assert!(text.contains("MPTCP stripped: true"));
     assert!(text.contains("bypassing the ASA (true)"));
+    assert!(
+        text.contains("Solver cache"),
+        "sec85 must surface the solver cache counters"
+    );
+}
+
+/// E8 / §8.5: the incremental solver's prefix cache must actually be hit on
+/// the department-network scenario (paths forked from shared prefixes
+/// dominate this topology).
+#[test]
+fn department_scenario_hits_the_prefix_cache() {
+    use symnet_suite::core::engine::{ExecConfig, SymNet};
+    use symnet_suite::models::scenarios::{department, DepartmentConfig};
+    use symnet_suite::models::tcp_options::symbolic_options_metadata;
+    use symnet_suite::sefl::packet::symbolic_tcp_packet;
+    use symnet_suite::sefl::Instruction;
+
+    let (net, topo) = department(DepartmentConfig {
+        access_switches: 4,
+        mac_entries: 200,
+        routes: 20,
+    });
+    let engine = SymNet::with_config(
+        net,
+        ExecConfig {
+            max_hops: 32,
+            ..ExecConfig::default()
+        },
+    );
+    let outbound = Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()]);
+    let report = engine.inject(topo.office_switch, 0, &outbound);
+    let stats = &report.solver_stats;
+    assert!(
+        stats.prefix_hits > 0,
+        "shared path-condition prefixes must be reused: {stats:?}"
+    );
+    assert!(stats.prefix_misses > 0, "fresh conjuncts must be analysed");
 }
