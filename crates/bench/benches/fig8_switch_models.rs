@@ -26,9 +26,23 @@ fn bench(c: &mut Criterion) {
         b.iter(|| measure_switch("basic", 440, 20).paths)
     });
 
+    // Basic model across worker counts: the paper's fork-heavy worst case is
+    // where scheduler contention shows, so this sweep is the headline number
+    // for the work-stealing scheduler (1 = sequential loop, 2/8 = parallel).
+    let table = MacTable::synthetic(440, 20);
+    for threads in [1usize, 2, 8] {
+        let mut net = Network::new();
+        let id = net.add_element(switch_basic("switch", &table));
+        let engine = SymNet::with_config(net, ExecConfig::default().with_threads(threads));
+        group.bench_with_input(
+            BenchmarkId::new("basic_threads", threads),
+            &threads,
+            |b, _| b.iter(|| engine.inject(id, 0, &symbolic_tcp_packet()).path_count()),
+        );
+    }
+
     // Basic model, incremental prefix-cached solving vs re-solving the whole
     // path condition from scratch on every check.
-    let table = MacTable::synthetic(440, 20);
     for (label, incremental) in [("incremental", true), ("from_scratch", false)] {
         let mut net = Network::new();
         let id = net.add_element(switch_basic("switch", &table));

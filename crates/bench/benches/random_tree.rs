@@ -36,8 +36,10 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    // Parallel exploration of the same fork-heavy tree.
-    for threads in [1, ExecConfig::default_threads().max(4)] {
+    // Parallel exploration of the same fork-heavy tree, swept over the
+    // worker counts the determinism suite pins (1 = the sequential loop,
+    // 2 and 8 = the work-stealing scheduler under low and high contention).
+    for threads in [1usize, 2, 8] {
         let engine = SymNet::with_config(
             topo.network.clone(),
             ExecConfig::default().with_threads(threads),

@@ -1,0 +1,83 @@
+//! Micro-bench for the cost of forking per-path execution state: the
+//! persistent [`ExecState`] fork (an O(1) bundle of `Arc` clones) against the
+//! deep `BTreeMap` clone the engine performed before the persistent-map
+//! change, at 10 / 100 / 1000 live header fields. A third series measures the
+//! fork plus one field write — the copy-on-write path that un-shares the
+//! O(log n) tree nodes on the written key's search path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use symnet_core::state::{ExecState, Slot, TraceEntry};
+use symnet_core::Value;
+
+/// Builds a state with `fields` live 32-bit header allocations (and a trace
+/// entry per allocation, matching how real paths accrete both together).
+fn state_with_fields(fields: usize) -> ExecState {
+    let mut state = ExecState::new();
+    for i in 0..fields {
+        let address = (i as i64) * 64;
+        state.allocate_header(address, 32).expect("disjoint");
+        state
+            .write_header(address, Value::Concrete(i as u64))
+            .expect("allocated");
+        state.push_trace(TraceEntry::Instruction(format!("Assign(h{i})")));
+    }
+    state
+}
+
+/// The pre-persistent-map representation of the same header map, cloned
+/// wholesale on every fork.
+fn btreemap_with_fields(fields: usize) -> BTreeMap<i64, Vec<Slot>> {
+    (0..fields)
+        .map(|i| {
+            (
+                (i as i64) * 64,
+                vec![Slot {
+                    value: Value::Concrete(i as u64),
+                    width: 32,
+                }],
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_fork");
+    group.sample_size(30);
+    for &fields in &[10usize, 100, 1000] {
+        let state = state_with_fields(fields);
+        let map = btreemap_with_fields(fields);
+
+        // The old fork: clone the whole header map (the trace and metadata
+        // vectors came on top of this in the real engine).
+        group.bench_with_input(BenchmarkId::new("deep_clone", fields), &fields, |b, _| {
+            b.iter(|| black_box(map.clone()).len())
+        });
+
+        // The new fork: O(1) regardless of how much state the path carries.
+        group.bench_with_input(
+            BenchmarkId::new("persistent_fork", fields),
+            &fields,
+            |b, _| b.iter(|| black_box(state.clone()).constraint_count()),
+        );
+
+        // Fork plus the child's first write: pays the O(log n) path copy.
+        group.bench_with_input(
+            BenchmarkId::new("persistent_fork_write", fields),
+            &fields,
+            |b, _| {
+                b.iter(|| {
+                    let mut child = black_box(state.clone());
+                    child
+                        .write_header(0, Value::Concrete(42))
+                        .expect("allocated");
+                    child.constraint_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

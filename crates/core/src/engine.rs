@@ -8,22 +8,32 @@
 //! elements, and the Figure 5 state-inclusion check detects loops.
 //!
 //! Distinct symbolic paths are independent, so exploration is parallel by
-//! default: pending paths go to a shared work queue drained by
-//! [`ExecConfig::threads`] workers, each owning a thread-local [`Solver`]
-//! whose statistics are merged at the end. Reports stay deterministic — every
-//! emitted path carries its fork lineage (the breadth-first position of the
-//! pending path that emitted it plus the emission index within that step),
-//! and the final report is sorted into exactly the order the single-threaded
-//! engine produces, so the JSON output is byte-identical for any thread
-//! count (the one exception is a run truncated by the [`ExecConfig::max_paths`]
-//! cap, whose exact count is honoured but whose surviving paths are
-//! scheduling-dependent).
+//! default, driven by a **work-stealing scheduler** (`StealScheduler`):
+//! each of the [`ExecConfig::threads`] workers owns a bounded LIFO deque it
+//! pushes forked children onto and pops from without contending with anyone;
+//! only when its deque runs dry does it steal the *oldest* path from a
+//! victim's deque (FIFO end — the shallowest fork, whose subtree is largest)
+//! or drain the shared overflow injector that absorbs local-deque overflow
+//! and the injection roots. Each worker owns a thread-local [`Solver`] whose
+//! statistics are merged at the end, and per-worker [`SchedStats`] count
+//! local hits, steals and overflow pushes.
 //!
-//! Forking is O(1) in the per-path bookkeeping: the path condition is a
-//! persistent cons-list ([`symnet_solver::PathCond`]) and the loop-detection
-//! history an `Arc`-shared [`History`] list, so children share their parent's
-//! structure instead of deep-copying it — and the solver reuses the analysis
-//! cached on the shared path-condition prefix ([`Solver::check_path`]).
+//! Reports stay deterministic no matter how paths migrate between workers —
+//! every emitted path carries its fork lineage (the breadth-first position of
+//! the pending path that emitted it plus the emission index within that
+//! step), and the final report is sorted into exactly the order the
+//! single-threaded engine produces, so the JSON output is byte-identical for
+//! any thread count (the one exception is a run truncated by the
+//! [`ExecConfig::max_paths`] cap, whose exact count is honoured but whose
+//! surviving paths are scheduling-dependent).
+//!
+//! Forking is O(1) end-to-end: the path condition is a persistent cons-list
+//! ([`symnet_solver::PathCond`]), the loop-detection history an `Arc`-shared
+//! `History` list, and the header/metadata maps and the trace inside
+//! [`ExecState`] are persistent too ([`crate::pmap::PMap`],
+//! [`crate::state::Trace`]) — children share their parent's structure instead
+//! of deep-copying it, and the solver reuses the analysis cached on the
+//! shared path-condition prefix ([`Solver::check_path`]).
 
 use crate::error::{DropReason, ExecError};
 use crate::network::{ElementId, Network};
@@ -33,7 +43,7 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use symnet_sefl::field::FieldRef;
@@ -153,6 +163,33 @@ impl PathReport {
     }
 }
 
+/// Work-stealing scheduler counters for one run, merged across workers.
+///
+/// Excluded from serialized reports (`#[serde(skip)]` on
+/// [`ExecutionReport::sched`], absent from the JSON rendering) for the same
+/// reason as the solver's `memo_*` counters: which worker pops which path is
+/// scheduling-dependent, and reports must stay byte-identical across thread
+/// counts. The sec85 table and the bench harness print them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Paths a worker popped from its own deque (the contention-free case).
+    pub local_hits: u64,
+    /// Paths taken from another worker's deque (FIFO end).
+    pub steals: u64,
+    /// Forked children that did not fit the bounded local deque and spilled
+    /// to the shared overflow injector.
+    pub overflow_pushes: u64,
+}
+
+impl SchedStats {
+    /// Merges another worker's counters into this record.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.local_hits += other.local_hits;
+        self.steals += other.steals;
+        self.overflow_pushes += other.overflow_pushes;
+    }
+}
+
 /// The result of one [`SymNet::inject`] call.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ExecutionReport {
@@ -165,6 +202,10 @@ pub struct ExecutionReport {
     /// Constraint-solver statistics for this run (the paper reports that >90%
     /// of runtime is solver time).
     pub solver_stats: SolverStats,
+    /// Work-stealing scheduler counters (scheduling-dependent, hence skipped
+    /// from serialization — see [`SchedStats`]).
+    #[serde(skip)]
+    pub sched: SchedStats,
     /// Wall-clock duration of the run.
     #[serde(skip)]
     pub wall_time: Duration,
@@ -446,65 +487,175 @@ impl<'a> StepSink<'a> {
     }
 }
 
-/// The shared work queue of the parallel driver. `outstanding` counts queued
-/// plus in-flight pending paths; workers exit when it reaches zero (no work
-/// can appear anymore) or when the path budget stops the run.
-struct WorkQueue {
-    state: Mutex<WorkQueueState>,
+/// Capacity of each worker's local deque. Children beyond this spill to the
+/// shared overflow injector, which doubles as natural load shedding: a worker
+/// producing paths faster than it can drain them hands the surplus to idle
+/// peers without waiting to be robbed.
+const LOCAL_DEQUE_CAP: usize = 256;
+
+/// The work-stealing scheduler of the parallel driver.
+///
+/// Topology: one bounded deque per worker plus one shared overflow injector.
+/// The owner pushes and pops at the *back* of its deque (LIFO — depth-first
+/// locally, which keeps the working set small and the persistent-state
+/// sharing warm), thieves and the injector path take from the *front* (FIFO —
+/// the oldest, shallowest path, whose subtree is the largest unit of work a
+/// thief can take in one grab). See DESIGN.md for the protocol diagram.
+///
+/// Termination: `outstanding` counts queued plus in-flight paths. It is
+/// incremented for a step's children *before* they are published and
+/// decremented for the finished step *after*, so it can only read zero once
+/// no path exists anywhere and none is being processed — at which point every
+/// worker exits. `queued` (incremented before a push, decremented after a
+/// pop) lets an idle worker decide, under the sleep lock, whether anything is
+/// worth re-scanning; producers bump it before taking the same lock to
+/// notify, so a sleeper can never miss a wakeup.
+struct StealScheduler {
+    /// One bounded deque per worker.
+    locals: Vec<Mutex<VecDeque<PendingPath>>>,
+    /// Shared overflow injector: the injection roots plus local overflow.
+    injector: Mutex<VecDeque<PendingPath>>,
+    /// Queued + in-flight paths; 0 means no work can ever appear again.
+    outstanding: AtomicUsize,
+    /// Paths currently sitting in some queue (conservative: incremented
+    /// before a push becomes visible, decremented after a pop).
+    queued: AtomicUsize,
+    /// Set when the path budget stops the run (or a worker panics).
+    stopped: AtomicBool,
+    /// Sleep coordination for idle workers.
+    idle: Mutex<()>,
     ready: Condvar,
 }
 
-struct WorkQueueState {
-    queue: VecDeque<PendingPath>,
-    outstanding: usize,
-    stopped: bool,
-}
-
-impl WorkQueue {
-    fn new(roots: Vec<PendingPath>) -> Self {
-        let outstanding = roots.len();
-        WorkQueue {
-            state: Mutex::new(WorkQueueState {
-                queue: VecDeque::from(roots),
-                outstanding,
-                stopped: false,
-            }),
+impl StealScheduler {
+    fn new(workers: usize, roots: Vec<PendingPath>) -> Self {
+        let count = roots.len();
+        StealScheduler {
+            locals: (0..workers)
+                .map(|_| Mutex::new(VecDeque::with_capacity(LOCAL_DEQUE_CAP)))
+                .collect(),
+            injector: Mutex::new(VecDeque::from(roots)),
+            outstanding: AtomicUsize::new(count),
+            queued: AtomicUsize::new(count),
+            stopped: AtomicBool::new(false),
+            idle: Mutex::new(()),
             ready: Condvar::new(),
         }
     }
 
-    /// Blocks until a pending path is available; `None` means the run is over
-    /// (queue drained with nothing in flight, or stopped by the path budget).
-    fn pop(&self) -> Option<PendingPath> {
-        let mut state = self.state.lock().expect("work queue poisoned");
+    /// Blocks until a pending path is available for worker `me`; `None` means
+    /// the run is over (every queue drained with nothing in flight, or
+    /// stopped by the path budget).
+    fn pop(&self, me: usize, stats: &mut SchedStats) -> Option<PendingPath> {
         loop {
-            if state.stopped {
+            if self.stopped.load(AtomicOrdering::SeqCst) {
                 return None;
             }
-            if let Some(pending) = state.queue.pop_front() {
-                return Some(pending);
+            // 1. Own deque, newest first (contention-free in the common case).
+            if let Some(p) = self.locals[me].lock().expect("deque poisoned").pop_back() {
+                self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
+                stats.local_hits += 1;
+                return Some(p);
             }
-            if state.outstanding == 0 {
+            // 2. Shared overflow injector (roots + spilled children), oldest
+            // first.
+            if let Some(p) = self.injector.lock().expect("injector poisoned").pop_front() {
+                self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
+                return Some(p);
+            }
+            // 3. Steal the oldest path of a victim, scanning peers round-robin
+            // from our right neighbour so thieves spread instead of mobbing
+            // worker 0.
+            let n = self.locals.len();
+            for offset in 1..n {
+                let victim = (me + offset) % n;
+                if let Some(p) = self.locals[victim]
+                    .lock()
+                    .expect("deque poisoned")
+                    .pop_front()
+                {
+                    self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
+                    stats.steals += 1;
+                    return Some(p);
+                }
+            }
+            // 4. Nothing anywhere: the run is over iff nothing is in flight
+            // (in-flight steps may still publish children). Otherwise sleep
+            // until a producer notifies; the double-check of `queued` under
+            // the sleep lock closes the race with a producer that published
+            // between our scan and the lock (producers bump `queued` before
+            // taking the lock to notify). The timeout is a belt-and-braces
+            // backstop, not load-bearing.
+            if self.outstanding.load(AtomicOrdering::SeqCst) == 0 {
+                self.wake_all();
                 return None;
             }
-            state = self.ready.wait(state).expect("work queue poisoned");
+            let guard = self.idle.lock().expect("idle lock poisoned");
+            if self.queued.load(AtomicOrdering::SeqCst) == 0
+                && !self.stopped.load(AtomicOrdering::SeqCst)
+                && self.outstanding.load(AtomicOrdering::SeqCst) != 0
+            {
+                let _ = self
+                    .ready
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("idle lock poisoned");
+            }
         }
     }
 
-    /// Publishes the children of a finished processing step and retires the
-    /// step itself.
-    fn complete(&self, children: Vec<PendingPath>) {
-        let mut state = self.state.lock().expect("work queue poisoned");
-        state.outstanding += children.len();
-        state.queue.extend(children);
-        state.outstanding -= 1;
-        self.ready.notify_all();
+    /// Publishes the children of a finished processing step onto worker
+    /// `me`'s deque (overflow spilling to the injector) and retires the step.
+    fn complete(&self, me: usize, children: Vec<PendingPath>, stats: &mut SchedStats) {
+        if !children.is_empty() {
+            // Count the children as outstanding *before* they become visible
+            // so `outstanding` can never dip to zero while work exists.
+            self.outstanding
+                .fetch_add(children.len(), AtomicOrdering::SeqCst);
+            self.queued
+                .fetch_add(children.len(), AtomicOrdering::SeqCst);
+            let mut spill: Vec<PendingPath> = Vec::new();
+            {
+                let mut local = self.locals[me].lock().expect("deque poisoned");
+                for child in children {
+                    if local.len() < LOCAL_DEQUE_CAP {
+                        local.push_back(child);
+                    } else {
+                        spill.push(child);
+                    }
+                }
+            }
+            if !spill.is_empty() {
+                stats.overflow_pushes += spill.len() as u64;
+                self.injector
+                    .lock()
+                    .expect("injector poisoned")
+                    .extend(spill);
+            }
+            self.retire();
+            self.wake_all();
+        } else {
+            self.retire();
+        }
     }
 
-    /// Stops the run (path budget exhausted).
+    /// Retires one in-flight step; wakes every sleeper if that was the last
+    /// outstanding path (so they observe termination).
+    fn retire(&self) {
+        if self.outstanding.fetch_sub(1, AtomicOrdering::SeqCst) == 1 {
+            self.wake_all();
+        }
+    }
+
+    /// Stops the run (path budget exhausted, or a worker unwound).
     fn stop(&self) {
-        let mut state = self.state.lock().expect("work queue poisoned");
-        state.stopped = true;
+        self.stopped.store(true, AtomicOrdering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Notifies every sleeping worker. Taking the sleep lock orders the
+    /// notification after any in-progress sleeper's queue re-check.
+    fn wake_all(&self) {
+        let _guard = self.idle.lock().expect("idle lock poisoned");
         self.ready.notify_all();
     }
 }
@@ -608,17 +759,23 @@ impl SymNet {
         }
 
         // Main exploration: single-threaded drains a plain FIFO (the legacy
-        // path), multi-threaded drains a shared queue with per-worker solver
-        // contexts. Both produce the same set of raw results.
+        // path), multi-threaded runs the work-stealing scheduler with
+        // per-worker solver contexts. Both produce the same set of raw
+        // results.
         let mut solver_stats = SolverStats::default();
+        let mut sched = SchedStats::default();
         let workers = self.config.threads.max(1);
         if workers == 1 {
-            self.drive_sequential(&mut ctx, &budget, roots, &mut results);
+            self.drive_sequential(&mut ctx, &budget, roots, &mut results, &mut sched);
         } else {
-            let (worker_results, worker_stats) = self.drive_parallel(workers, &budget, roots);
+            let (worker_results, worker_stats, worker_sched) =
+                self.drive_parallel(workers, &budget, roots);
             results.extend(worker_results);
             for stats in &worker_stats {
                 solver_stats.merge(stats);
+            }
+            for stats in &worker_sched {
+                sched.merge(stats);
             }
         }
         solver_stats.merge(ctx.solver.stats());
@@ -640,17 +797,20 @@ impl SymNet {
             paths,
             injected,
             solver_stats,
+            sched,
             wall_time: start.elapsed(),
         }
     }
 
-    /// The single-threaded driver: the legacy FIFO loop.
+    /// The single-threaded driver: the legacy FIFO loop (every pop counts as
+    /// a local hit — there is nobody to steal from).
     fn drive_sequential(
         &self,
         ctx: &mut Ctx,
         budget: &PathBudget,
         roots: Vec<PendingPath>,
         results: &mut Vec<RawResult>,
+        sched: &mut SchedStats,
     ) {
         let mut worklist: VecDeque<PendingPath> = VecDeque::from(roots);
         let mut children: Vec<PendingPath> = Vec::new();
@@ -658,23 +818,28 @@ impl SymNet {
             if budget.exhausted() {
                 break;
             }
+            sched.local_hits += 1;
             self.process_pending(ctx, budget, pending, results, &mut children);
             worklist.extend(children.drain(..));
         }
     }
 
-    /// The multi-threaded driver: `workers` scoped threads drain a shared
-    /// queue; each owns a solver whose statistics are returned for merging.
+    /// The multi-threaded driver: `workers` scoped threads run the
+    /// work-stealing scheduler; each owns a solver whose statistics — and
+    /// scheduler counters — are returned for merging.
     fn drive_parallel(
         &self,
         workers: usize,
         budget: &PathBudget,
         roots: Vec<PendingPath>,
-    ) -> (Vec<RawResult>, Vec<SolverStats>) {
-        let queue = WorkQueue::new(roots);
-        let outputs: Vec<(Vec<RawResult>, SolverStats)> = std::thread::scope(|scope| {
+    ) -> (Vec<RawResult>, Vec<SolverStats>, Vec<SchedStats>) {
+        let sched = StealScheduler::new(workers, roots);
+        let outputs: Vec<(Vec<RawResult>, SolverStats, SchedStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| self.worker(&queue, budget)))
+                .map(|me| {
+                    let sched = &sched;
+                    scope.spawn(move || self.worker(sched, me, budget))
+                })
                 .collect();
             handles
                 .into_iter()
@@ -683,33 +848,41 @@ impl SymNet {
         });
         let mut results = Vec::new();
         let mut stats = Vec::new();
-        for (worker_results, worker_stats) in outputs {
+        let mut sched_stats = Vec::new();
+        for (worker_results, worker_stats, worker_sched) in outputs {
             results.extend(worker_results);
             stats.push(worker_stats);
+            sched_stats.push(worker_sched);
         }
-        (results, stats)
+        (results, stats, sched_stats)
     }
 
-    /// One worker: pop pending paths, process them with a thread-local
-    /// context, publish forked children back to the queue.
-    fn worker(&self, queue: &WorkQueue, budget: &PathBudget) -> (Vec<RawResult>, SolverStats) {
+    /// One worker: pop pending paths (own deque first, then the injector,
+    /// then stealing), process them with a thread-local context, publish
+    /// forked children onto the own deque.
+    fn worker(
+        &self,
+        sched: &StealScheduler,
+        me: usize,
+        budget: &PathBudget,
+    ) -> (Vec<RawResult>, SolverStats, SchedStats) {
         // If this worker unwinds mid-step (a panic anywhere in the
-        // interpreter or solver), its in-flight queue slot would otherwise
-        // never be retired and every peer would wait forever on the condvar.
-        // The guard stops the queue on unwind so peers exit and the panic
-        // propagates through the scope join instead of deadlocking.
+        // interpreter or solver), its in-flight slot would otherwise never be
+        // retired and every peer would wait forever for `outstanding` to
+        // drain. The guard stops the scheduler on unwind so peers exit and
+        // the panic propagates through the scope join instead of deadlocking.
         struct PanicGuard<'a> {
-            queue: &'a WorkQueue,
+            sched: &'a StealScheduler,
             armed: bool,
         }
         impl Drop for PanicGuard<'_> {
             fn drop(&mut self) {
                 if self.armed {
-                    self.queue.stop();
+                    self.sched.stop();
                 }
             }
         }
-        let mut guard = PanicGuard { queue, armed: true };
+        let mut guard = PanicGuard { sched, armed: true };
 
         let mut ctx = Ctx {
             solver: Solver::with_config(self.config.solver),
@@ -717,17 +890,18 @@ impl SymNet {
         };
         let mut results: Vec<RawResult> = Vec::new();
         let mut children: Vec<PendingPath> = Vec::new();
-        while let Some(pending) = queue.pop() {
+        let mut stats = SchedStats::default();
+        while let Some(pending) = sched.pop(me, &mut stats) {
             if budget.exhausted() {
-                queue.stop();
-                queue.complete(Vec::new());
+                sched.stop();
+                sched.retire();
                 break;
             }
             self.process_pending(&mut ctx, budget, pending, &mut results, &mut children);
-            queue.complete(std::mem::take(&mut children));
+            sched.complete(me, std::mem::take(&mut children), &mut stats);
         }
         guard.armed = false;
-        (results, ctx.solver.into_stats())
+        (results, ctx.solver.into_stats(), stats)
     }
 
     /// Processes one path arrival at an element input port, emitting
@@ -1537,6 +1711,61 @@ mod tests {
         }
         // 4 forks at A, two of which land on B and fork in 3: 2 + 2*3 = 8.
         assert_eq!(reports[0].delivered().count(), 8);
+    }
+
+    #[test]
+    fn scheduler_counters_track_local_work_steals_and_overflow() {
+        // One element forking to 300 linked ports spawns 300 children in a
+        // single processing step — more than LOCAL_DEQUE_CAP, so the
+        // publishing worker must spill exactly 300 - LOCAL_DEQUE_CAP paths to
+        // the overflow injector, no matter how workers interleave.
+        let fan_out = LOCAL_DEQUE_CAP + 44;
+        let mut net = Network::new();
+        let a = net.add_element(
+            ElementProgram::new("a", 1, fan_out)
+                .with_any_input_code(Instruction::fork((0..fan_out).collect())),
+        );
+        let b = net.add_element(
+            ElementProgram::new("b", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        for port in 0..fan_out {
+            net.add_link(a, port, b, 0);
+        }
+
+        // Sequential: every pop is a local hit, nothing is stolen or spilled.
+        let engine = SymNet::with_config(net.clone(), ExecConfig::default().with_threads(1));
+        let sequential = engine.inject(a, 0, &symbolic_tcp_packet());
+        assert_eq!(sequential.sched.local_hits as usize, 1 + fan_out);
+        assert_eq!(sequential.sched.steals, 0);
+        assert_eq!(sequential.sched.overflow_pushes, 0);
+
+        // Parallel: the root arrives via the injector (uncounted), the
+        // children via local pops or steals; the fan-out step overflows the
+        // bounded deque by exactly `fan_out - LOCAL_DEQUE_CAP`.
+        for threads in [2usize, 8] {
+            let engine =
+                SymNet::with_config(net.clone(), ExecConfig::default().with_threads(threads));
+            let report = engine.inject(a, 0, &symbolic_tcp_packet());
+            assert_eq!(
+                report.sched.overflow_pushes as usize,
+                fan_out - LOCAL_DEQUE_CAP,
+                "overflow at {threads} threads"
+            );
+            // The children that stayed on the bounded deque leave it either
+            // by a local pop or by a steal; the spilled ones (and the root)
+            // come back through the injector, which neither counter tracks.
+            assert_eq!(
+                (report.sched.local_hits + report.sched.steals) as usize,
+                LOCAL_DEQUE_CAP,
+                "deque-resident children at {threads} threads"
+            );
+            // Scheduling never changes the report itself.
+            assert_eq!(report.path_count(), sequential.path_count());
+            for (x, y) in sequential.paths.iter().zip(report.paths.iter()) {
+                assert_eq!(x.status, y.status);
+                assert_eq!(x.state, y.state);
+            }
+        }
     }
 
     #[test]

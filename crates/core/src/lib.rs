@@ -40,11 +40,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod error;
 pub mod network;
+pub mod pmap;
 pub mod report;
 pub mod state;
 pub mod symbols;

@@ -26,7 +26,12 @@ pub fn report_to_json(report: &ExecutionReport, network: &Network) -> Json {
             // Incremental-solver reuse of shared path-condition prefixes.
             // Deterministic across thread counts (the cache lives on the
             // shared prefix node, not on the worker); the per-worker memo
-            // counters are deliberately absent here.
+            // counters are deliberately absent here, and so are the
+            // work-stealing scheduler counters (`ExecutionReport::sched`:
+            // local-deque hits, steals, overflow pushes) — which worker pops
+            // which path is scheduling-dependent, and this JSON must stay
+            // byte-identical for every thread count. The sec85 table and the
+            // bench harness print both.
             "prefix_cache_hits": report.solver_stats.prefix_hits,
             "prefix_cache_misses": report.solver_stats.prefix_misses,
             "time_in_solver_us": report.solver_stats.time_in_solver.as_micros() as u64,
@@ -99,7 +104,7 @@ pub fn path_to_json(path: &PathReport, network: &Network) -> Json {
     let trace: Vec<String> = path
         .state
         .trace()
-        .iter()
+        .into_iter()
         .map(|e| match e {
             TraceEntry::Port(p) => format!("port {p}"),
             TraceEntry::Instruction(i) => i.clone(),

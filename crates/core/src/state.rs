@@ -11,10 +11,11 @@
 //!   visited ports/instructions and the accumulated path condition.
 
 use crate::error::ExecError;
+use crate::pmap::PMap;
 use crate::symbols::VarAllocator;
 use crate::value::{width_mask, Value};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{Content, Deserialize, Deserializer, Error, Serialize};
+use std::sync::Arc;
 use symnet_sefl::cond::{Condition, RelOp};
 use symnet_sefl::expr::Expr;
 use symnet_sefl::field::{FieldRef, HeaderAddr, Visibility};
@@ -44,21 +45,152 @@ pub enum TraceEntry {
     Message(String),
 }
 
+/// The per-path execution trace, as an `Arc` cons-list: appending is O(1) and
+/// forking a path shares the parent's entire trace (one pointer clone) instead
+/// of deep-copying a vector whose length grows with every hop. Entries
+/// serialize, compare and print oldest-first, exactly like the `Vec` this
+/// replaced.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    head: Option<Arc<TraceNode>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct TraceNode {
+    entry: TraceEntry,
+    prev: Option<Arc<TraceNode>>,
+}
+
+impl Trace {
+    /// Appends an entry (O(1); the current trace becomes the shared tail).
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.head = Some(Arc::new(TraceNode {
+            entry,
+            prev: self.head.take(),
+        }));
+        self.len += 1;
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entry was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates newest-first (the cheap direction for a cons-list).
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &TraceEntry> {
+        std::iter::successors(self.head.as_deref(), |n| n.prev.as_deref()).map(|n| &n.entry)
+    }
+
+    /// The entries oldest-first (execution order), as borrowed references.
+    pub fn entries(&self) -> Vec<&TraceEntry> {
+        let mut out: Vec<&TraceEntry> = self.iter_newest_first().collect();
+        out.reverse();
+        out
+    }
+}
+
+impl Drop for Trace {
+    /// Unlinks the chain iteratively, exactly like [`PathCond`]'s `Drop`: the
+    /// naive recursive drop of a long cons-list (one `Drop` frame per node)
+    /// would overflow the stack on the tens-of-thousands-entry traces that
+    /// basic switch/router models accrete (one entry per table-entry `If`
+    /// evaluated, times up to `max_hops` elements).
+    fn drop(&mut self) {
+        let mut cur = self.head.take();
+        while let Some(node) = cur {
+            match Arc::try_unwrap(node) {
+                // Sole owner: steal the tail link and keep unlinking.
+                Ok(mut owned) => cur = owned.prev.take(),
+                // Still shared: the other owners keep the rest alive.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        // Forked siblings share their common tail: stop at the first shared
+        // node instead of walking both lists to the end.
+        let mut a = self.head.as_ref();
+        let mut b = other.head.as_ref();
+        while let (Some(x), Some(y)) = (a, b) {
+            if Arc::ptr_eq(x, y) {
+                return true;
+            }
+            if x.entry != y.entry {
+                return false;
+            }
+            a = x.prev.as_ref();
+            b = y.prev.as_ref();
+        }
+        true
+    }
+}
+
+impl Eq for Trace {}
+
+// Serialized as the oldest-first sequence the `Vec<TraceEntry>` representation
+// produced, so reports are unchanged.
+impl Serialize for Trace {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self
+            .iter_newest_first()
+            .map(Serialize::to_content)
+            .collect();
+        items.reverse();
+        Content::Seq(items)
+    }
+}
+
+impl<'de> Deserialize<'de> for Trace {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => {
+                let mut trace = Trace::default();
+                for item in items {
+                    trace.push(serde::from_content(item).map_err(D::Error::custom)?);
+                }
+                Ok(trace)
+            }
+            other => Err(D::Error::custom(format!(
+                "expected sequence for trace, found {other:?}"
+            ))),
+        }
+    }
+}
+
 /// The execution state of one path (one packet).
+///
+/// Every container in here is persistent (structurally shared): the header and
+/// metadata maps are path-copying [`PMap`]s, the tag map likewise, the path
+/// condition a [`PathCond`] cons-list and the trace a [`Trace`] cons-list.
+/// Cloning a state — which is exactly what forking a path at `If`/`Fork` does
+/// — therefore touches O(1) words, and a child's first write to a map copies
+/// only the O(log n) nodes on its search path.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecState {
     /// Packet header: bit address → stack of allocations (top is live).
-    headers: BTreeMap<i64, Vec<Slot>>,
+    headers: PMap<i64, Vec<Slot>>,
     /// Metadata map: key → stack of allocations (top is live).
-    meta: BTreeMap<String, Vec<Slot>>,
+    meta: PMap<String, Vec<Slot>>,
     /// Tags: name → absolute bit address.
-    tags: BTreeMap<String, i64>,
+    tags: PMap<String, i64>,
     /// Path condition, as a persistent (structurally shared) conjunction:
     /// forked paths share their common prefix — and the solver analysis
     /// cached on it — instead of deep-copying a constraint vector.
     constraints: PathCond,
     /// Trace of ports visited and instructions executed.
-    trace: Vec<TraceEntry>,
+    trace: Trace,
 }
 
 impl ExecState {
@@ -132,10 +264,15 @@ impl ExecState {
                 }
             }
         }
-        self.headers.entry(address).or_default().push(Slot {
+        let slot = Slot {
             value: Value::Concrete(0),
             width,
-        });
+        };
+        if let Some(stack) = self.headers.get_mut(&address) {
+            stack.push(slot);
+        } else {
+            self.headers.insert(address, vec![slot]);
+        }
         Ok(())
     }
 
@@ -160,7 +297,8 @@ impl ExecState {
             }
         }
         stack.pop();
-        if stack.is_empty() {
+        let emptied = stack.is_empty();
+        if emptied {
             self.headers.remove(&address);
         }
         Ok(())
@@ -212,10 +350,16 @@ impl ExecState {
 
     /// Allocates a metadata entry, pushing onto its value stack.
     pub fn allocate_meta(&mut self, key: impl Into<String>, width: u16) {
-        self.meta.entry(key.into()).or_default().push(Slot {
+        let key = key.into();
+        let slot = Slot {
             value: Value::Concrete(0),
             width,
-        });
+        };
+        if let Some(stack) = self.meta.get_mut(&key) {
+            stack.push(slot);
+        } else {
+            self.meta.insert(key, vec![slot]);
+        }
     }
 
     /// Pops the topmost allocation of a metadata entry.
@@ -239,7 +383,8 @@ impl ExecState {
             }
         }
         stack.pop();
-        if stack.is_empty() {
+        let emptied = stack.is_empty();
+        if emptied {
             self.meta.remove(key);
         }
         Ok(())
@@ -258,19 +403,20 @@ impl ExecState {
     /// paper's models freely `Assign` to metadata such as `"OPT30"`.
     pub fn write_meta(&mut self, key: impl Into<String>, value: Value) {
         let key = key.into();
-        let stack = self.meta.entry(key).or_default();
-        if stack.is_empty() {
-            stack.push(Slot {
-                value,
-                width: DEFAULT_META_WIDTH,
-            });
-        } else {
-            let top = stack.last_mut().expect("non-empty");
+        if let Some(top) = self.meta.get_mut(&key).and_then(|s| s.last_mut()) {
             top.value = match value {
                 Value::Concrete(v) => Value::Concrete(v & width_mask(top.width)),
                 sym => sym,
             };
+            return;
         }
+        self.meta.insert(
+            key,
+            vec![Slot {
+                value,
+                width: DEFAULT_META_WIDTH,
+            }],
+        );
     }
 
     /// True if a live metadata entry exists for `key`.
@@ -542,25 +688,30 @@ impl ExecState {
         self.constraints.atom_count()
     }
 
-    /// Appends a trace entry.
+    /// Appends a trace entry (O(1); the shared tail is untouched).
     pub fn push_trace(&mut self, entry: TraceEntry) {
         self.trace.push(entry);
     }
 
-    /// The execution trace.
-    pub fn trace(&self) -> &[TraceEntry] {
-        &self.trace
+    /// The execution trace, oldest-first. The entries live in `Arc`-shared
+    /// cons-list cells, so this materialises a vector of references (O(n)) —
+    /// meant for reports and assertions, not hot paths.
+    pub fn trace(&self) -> Vec<&TraceEntry> {
+        self.trace.entries()
     }
 
     /// The ports visited by this path, in order.
     pub fn ports_visited(&self) -> Vec<&str> {
-        self.trace
-            .iter()
+        let mut ports: Vec<&str> = self
+            .trace
+            .iter_newest_first()
             .filter_map(|e| match e {
                 TraceEntry::Port(p) => Some(p.as_str()),
                 _ => None,
             })
-            .collect()
+            .collect();
+        ports.reverse();
+        ports
     }
 }
 
@@ -846,6 +997,59 @@ mod tests {
         assert_eq!(s.constraint_count(), 2);
         assert_eq!(s.constraint_atoms(), 2);
         assert!(matches!(s.path_condition(), Formula::And(_)));
+    }
+
+    #[test]
+    fn dropping_a_very_long_trace_does_not_overflow_the_stack() {
+        // Regression guard for Trace's iterative Drop: basic switch/router
+        // models push one entry per table-entry `If`, so unshared traces
+        // reach tens of thousands of nodes; a recursive drop would need one
+        // stack frame per node.
+        let mut s = ExecState::new();
+        for i in 0..200_000 {
+            s.push_trace(TraceEntry::Instruction(format!("i{i}")));
+        }
+        assert_eq!(s.trace().len(), 200_000);
+        drop(s);
+    }
+
+    #[test]
+    fn forked_state_mutations_never_leak_into_the_parent() {
+        // The engine forks a path by cloning its ExecState; every container
+        // inside is persistent (Arc-shared), so this checks the copy-on-write
+        // boundary on all of them: headers, metadata, tags and trace.
+        let mut parent = ExecState::new();
+        parent.create_tag("L3", 0);
+        parent.allocate_header(96, 32).unwrap();
+        parent.write_header(96, Value::Concrete(1)).unwrap();
+        parent.allocate_meta("flow", 16);
+        parent.write_meta("flow", Value::Concrete(7));
+        parent.push_trace(TraceEntry::Port("A:InputPort(0)".into()));
+        let snapshot = parent.clone();
+
+        let mut child = parent.clone();
+        child.write_header(96, Value::Concrete(2)).unwrap();
+        child.allocate_header(160, 16).unwrap();
+        child.write_meta("flow", Value::Concrete(8));
+        child.allocate_meta("nat", 16);
+        child.create_tag("L4", 160);
+        child.destroy_tag("L3").unwrap();
+        child.push_trace(TraceEntry::Port("B:InputPort(0)".into()));
+        child.deallocate_header(96, Some(32)).unwrap();
+
+        // The parent is bit-for-bit what it was before the fork.
+        assert_eq!(parent, snapshot);
+        assert_eq!(parent.read_header(96).unwrap().value, Value::Concrete(1));
+        assert!(!parent.header_allocated(160));
+        assert_eq!(parent.read_meta("flow").unwrap().value, Value::Concrete(7));
+        assert!(!parent.meta_allocated("nat"));
+        assert_eq!(parent.tag("L3"), Some(0));
+        assert_eq!(parent.tag("L4"), None);
+        assert_eq!(parent.trace().len(), 1);
+        // And parent-side mutations after the fork stay invisible to the
+        // child.
+        parent.write_meta("flow", Value::Concrete(99));
+        assert_eq!(child.read_meta("flow").unwrap().value, Value::Concrete(8));
     }
 
     #[test]

