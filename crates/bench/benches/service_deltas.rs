@@ -1,0 +1,194 @@
+//! Resident-service delta sweep: incremental re-verification versus
+//! from-scratch re-exploration as a function of delta size.
+//!
+//! Topology: `delta_fanout(8, 4)` — a root egress switch fanning out to 8
+//! leaf switches, 4 MACs each, 32 delivered paths total. A delta burst
+//! touches `k` leaves (one MAC learned behind each, then aged out again), so
+//! `k/8` of the path tree is invalidated per burst and the rest is reused by
+//! the incremental mode. Both modes pay the same table mutation + program
+//! recompilation + copy-on-write costs; they differ only in how the answer
+//! is re-established:
+//!
+//! * `incremental/<k>` — [`VerifyService::verify`] re-explores the
+//!   invalidated subtrees and merges them with the kept results.
+//! * `from_scratch/<k>` — a fresh `inject` over the updated snapshot.
+//!
+//! The two modes produce byte-identical canonical reports (asserted below
+//! before timing anything). The bench additionally prints the measured
+//! break-even delta size: the smallest `k` where incremental stops winning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use symnet_core::network::ElementId;
+use symnet_core::report::canonical_report_json_string;
+use symnet_core::{ExecConfig, QueryId, VerifyService};
+use symnet_models::delta::{Delta, RuleTables};
+use symnet_models::scenarios::{delta_fanout, fanout_mac};
+use symnet_sefl::packet::symbolic_tcp_packet;
+
+const LEAVES: usize = 8;
+const MACS_PER_LEAF: usize = 4;
+const DELTA_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+struct Setup {
+    service: VerifyService,
+    tables: RuleTables,
+    leaves: Vec<ElementId>,
+    access: ElementId,
+    query: QueryId,
+}
+
+fn setup() -> Setup {
+    let fanout = delta_fanout(LEAVES, MACS_PER_LEAF);
+    let mut service = VerifyService::new(fanout.network, ExecConfig::default().with_threads(1));
+    let query = service.add_query("fanout", fanout.access, 0, symbolic_tcp_packet());
+    service.verify(query).expect("initial verification");
+    Setup {
+        service,
+        tables: fanout.tables,
+        leaves: fanout.leaves,
+        access: fanout.access,
+        query,
+    }
+}
+
+/// The delta burst for size `k`: learn one fresh MAC behind each of the
+/// first `k` leaves (`learn: true`), or age those MACs back out.
+fn burst(leaves: &[ElementId], k: usize, learn: bool) -> Vec<Delta> {
+    (0..k)
+        .map(|leaf| {
+            let mac = fanout_mac(20 + leaf, 0);
+            if learn {
+                Delta::MacLearn {
+                    element: leaves[leaf],
+                    mac,
+                    vlan: None,
+                    port: 0,
+                }
+            } else {
+                Delta::MacAge {
+                    element: leaves[leaf],
+                    mac,
+                    vlan: None,
+                }
+            }
+        })
+        .collect()
+}
+
+fn apply_burst(setup: &mut Setup, k: usize, learn: bool) {
+    for delta in burst(&setup.leaves.clone(), k, learn) {
+        setup
+            .tables
+            .apply(&mut setup.service, &delta)
+            .expect("delta applies")
+            .expect("delta changes its table");
+    }
+}
+
+/// One incremental round: learn burst + re-verify, age burst + re-verify
+/// (the table round-trips, so rounds are repeatable).
+fn incremental_round(setup: &mut Setup, k: usize) -> usize {
+    apply_burst(setup, k, true);
+    let a = setup.service.verify(setup.query).expect("re-verify");
+    apply_burst(setup, k, false);
+    let b = setup.service.verify(setup.query).expect("re-verify");
+    a.report.path_count() + b.report.path_count()
+}
+
+/// One from-scratch round: the same delta bursts, answered by full injects
+/// over the updated snapshot.
+fn from_scratch_round(setup: &mut Setup, k: usize) -> usize {
+    let mut total = 0;
+    for learn in [true, false] {
+        apply_burst(setup, k, learn);
+        let report = setup
+            .service
+            .snapshot()
+            .try_inject(setup.access, 0, &symbolic_tcp_packet())
+            .expect("inject");
+        total += report.path_count();
+    }
+    total
+}
+
+/// Byte-identity of the two modes, checked once per delta size before any
+/// timing (the acceptance bar of the service work).
+fn assert_modes_agree(k: usize) {
+    let mut setup = setup();
+    apply_burst(&mut setup, k, true);
+    let incremental = setup.service.verify(setup.query).expect("re-verify");
+    let scratch = setup
+        .service
+        .snapshot()
+        .try_inject(setup.access, 0, &symbolic_tcp_packet())
+        .expect("inject");
+    assert_eq!(
+        canonical_report_json_string(&incremental.report, setup.service.network()),
+        canonical_report_json_string(&scratch, setup.service.network()),
+        "incremental and from-scratch reports diverged at delta size {k}"
+    );
+}
+
+/// Median wall time of `runs` rounds (for the break-even line; the criterion
+/// series carry the full statistics).
+fn median_time(mut round: impl FnMut() -> usize, runs: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let paths = round();
+            assert!(paths > 0);
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    for &k in &DELTA_SIZES {
+        assert_modes_agree(k);
+    }
+
+    let mut group = c.benchmark_group("service_deltas");
+    group.sample_size(20);
+    for &k in &DELTA_SIZES {
+        let mut inc = setup();
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, &k| {
+            b.iter(|| incremental_round(&mut inc, k))
+        });
+        let mut scratch = setup();
+        group.bench_with_input(BenchmarkId::new("from_scratch", k), &k, |b, &k| {
+            b.iter(|| from_scratch_round(&mut scratch, k))
+        });
+    }
+    group.finish();
+
+    // Break-even: the smallest delta size at which incremental stops
+    // beating from-scratch (bursts touching every leaf invalidate the whole
+    // tree, so incremental degenerates to from-scratch plus bookkeeping).
+    let mut break_even: Option<usize> = None;
+    for &k in &DELTA_SIZES {
+        let mut inc = setup();
+        let t_inc = median_time(|| incremental_round(&mut inc, k), 5);
+        let mut scratch = setup();
+        let t_scratch = median_time(|| from_scratch_round(&mut scratch, k), 5);
+        println!(
+            "service_deltas break-even probe: k={k:<2} incremental {t_inc:>10.1?}  from_scratch {t_scratch:>10.1?}"
+        );
+        if break_even.is_none() && t_inc >= t_scratch {
+            break_even = Some(k);
+        }
+    }
+    match break_even {
+        Some(k) => println!(
+            "service_deltas break-even: incremental stops winning at deltas touching {k}/{LEAVES} leaves"
+        ),
+        None => println!(
+            "service_deltas break-even: incremental won at every probed delta size (up to {LEAVES}/{LEAVES} leaves)"
+        ),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! finishes in seconds on a laptop; `--full` uses the paper-scale parameters
 //! (hundreds of thousands of MAC-table entries and prefixes).
 
-use symnet_bench::{fig8, sec83, sec84, sec85, table1, table2, table3, table4, table5};
+use symnet_bench::{fig8, sec83, sec84, sec85, serve, table1, table2, table3, table4, table5};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,5 +61,12 @@ fn main() {
     if want("sec85") {
         let (sw, macs, routes) = if full { (15, 6_000, 400) } else { (6, 600, 50) };
         println!("{}", sec85(sw, macs, routes).render());
+    }
+    if want("serve") {
+        // Resident-service demo: a scripted MAC learn/age/roam delta stream
+        // over the fan-out topology, incremental re-verification next to the
+        // from-scratch baseline (byte-identity asserted per event).
+        let (leaves, macs_per_leaf) = if full { (32, 8) } else { (8, 4) };
+        println!("{}", serve(leaves, macs_per_leaf).render());
     }
 }

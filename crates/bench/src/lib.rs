@@ -853,6 +853,156 @@ pub fn sec83() -> TableReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// serve — resident-service demo (scripted delta stream)
+// ---------------------------------------------------------------------------
+
+/// Runs the resident verification service against a scripted delta stream on
+/// the `delta_fanout` topology: one standing query, a sequence of MAC
+/// learn/age events of varying blast radius, and — per event — the
+/// incremental re-verification next to a from-scratch baseline over the same
+/// updated snapshot. The `identical` column asserts the two canonical
+/// reports byte-for-byte; `kept`/`re-explored` show how much of the path
+/// tree the service reused.
+pub fn serve(leaves: usize, macs_per_leaf: usize) -> TableReport {
+    use symnet_core::report::canonical_report_json_string;
+    use symnet_core::VerifyService;
+    use symnet_models::delta::Delta;
+    use symnet_models::scenarios::{delta_fanout, fanout_mac};
+
+    let fanout = delta_fanout(leaves, macs_per_leaf);
+    let mut tables = fanout.tables;
+    let mut service = VerifyService::new(fanout.network, ExecConfig::default());
+    let query = service.add_query("fanout", fanout.access, 0, symbolic_tcp_packet());
+
+    let start = Instant::now();
+    let first = service.verify(query).expect("initial verification");
+    let first_time = start.elapsed();
+
+    // The scripted stream: a station joins behind leaf 0, another joins
+    // behind the last leaf, the first roams to leaf 1 (age + learn), then
+    // ages out entirely; finally the root itself learns a MAC — the
+    // worst-case delta every path traverses.
+    let last = leaves - 1;
+    let station_a = fanout_mac(leaves + 1, 0);
+    let station_b = fanout_mac(leaves + 2, 0);
+    let stream: Vec<(&str, Vec<Delta>)> = vec![
+        (
+            "learn A @ leaf0",
+            vec![Delta::MacLearn {
+                element: fanout.leaves[0],
+                mac: station_a,
+                vlan: None,
+                port: 0,
+            }],
+        ),
+        (
+            "learn B @ last leaf",
+            vec![Delta::MacLearn {
+                element: fanout.leaves[last],
+                mac: station_b,
+                vlan: None,
+                port: macs_per_leaf - 1,
+            }],
+        ),
+        (
+            "A roams leaf0→leaf1",
+            vec![
+                Delta::MacAge {
+                    element: fanout.leaves[0],
+                    mac: station_a,
+                    vlan: None,
+                },
+                Delta::MacLearn {
+                    element: fanout.leaves[1],
+                    mac: station_a,
+                    vlan: None,
+                    port: 0,
+                },
+            ],
+        ),
+        (
+            "A ages out",
+            vec![Delta::MacAge {
+                element: fanout.leaves[1],
+                mac: station_a,
+                vlan: None,
+            }],
+        ),
+        (
+            "root learns B",
+            vec![Delta::MacLearn {
+                element: fanout.root,
+                mac: station_b,
+                vlan: None,
+                port: last,
+            }],
+        ),
+    ];
+
+    let mut rows = vec![Row {
+        cells: vec![
+            "initial".into(),
+            "-".into(),
+            "0".into(),
+            first.stats.reexplored_paths.to_string(),
+            first.report.delivered().count().to_string(),
+            ms(first_time),
+            "-".into(),
+            "-".into(),
+        ],
+    }];
+    for (label, deltas) in stream {
+        for delta in &deltas {
+            tables
+                .apply(&mut service, delta)
+                .expect("delta applies")
+                .expect("every scripted delta changes its table");
+        }
+        let start = Instant::now();
+        let incremental = service.verify(query).expect("re-verify");
+        let incremental_time = start.elapsed();
+        let start = Instant::now();
+        let scratch = service
+            .snapshot()
+            .try_inject(fanout.access, 0, &symbolic_tcp_packet())
+            .expect("from-scratch inject");
+        let scratch_time = start.elapsed();
+        let identical = canonical_report_json_string(&incremental.report, service.network())
+            == canonical_report_json_string(&scratch, service.network());
+        assert!(identical, "incremental diverged from from-scratch: {label}");
+        rows.push(Row {
+            cells: vec![
+                label.into(),
+                deltas.len().to_string(),
+                incremental.stats.kept_paths.to_string(),
+                incremental.stats.reexplored_paths.to_string(),
+                incremental.report.delivered().count().to_string(),
+                ms(incremental_time),
+                ms(scratch_time),
+                if identical { "yes" } else { "NO" }.into(),
+            ],
+        });
+    }
+
+    TableReport {
+        title: format!("serve — resident service, {leaves}-leaf fan-out, scripted delta stream"),
+        headers: [
+            "event",
+            "deltas",
+            "kept",
+            "re-explored",
+            "delivered",
+            "incremental",
+            "from-scratch",
+            "identical",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

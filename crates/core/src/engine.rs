@@ -35,16 +35,18 @@
 //! of deep-copying it, and the solver reuses the analysis cached on the
 //! shared path-condition prefix ([`Solver::check_path`]).
 
-use crate::error::{DropReason, ExecError};
+use crate::error::{DropReason, EngineError, ExecError};
 use crate::network::{ElementId, Network};
 use crate::state::{ExecState, TraceEntry};
 use crate::symbols::VarAllocator;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use symnet_sefl::field::FieldRef;
 use symnet_sefl::fields;
@@ -327,8 +329,14 @@ impl History {
 }
 
 /// A path waiting to be processed at an element input port.
+///
+/// Because every component is persistent (`ExecState`, `History`, the
+/// allocator is a small value), cloning a `PendingPath` is O(1) — which is
+/// what lets the resident service ([`crate::service`]) snapshot every
+/// element-entry event as a *checkpoint* and later re-explore only the
+/// subtrees invalidated by a rule delta.
 #[derive(Clone, Debug)]
-struct PendingPath {
+pub(crate) struct PendingPath {
     state: ExecState,
     element: ElementId,
     input_port: usize,
@@ -348,6 +356,26 @@ struct PendingPath {
     lineage: Vec<u32>,
 }
 
+impl PendingPath {
+    /// The element this path is about to enter (the invalidation key of the
+    /// resident service: a rule delta to this element makes the whole subtree
+    /// explored from here stale).
+    pub(crate) fn element(&self) -> ElementId {
+        self.element
+    }
+
+    /// The fork lineage of this pending path. `a` is an ancestor of `b` iff
+    /// `a.lineage` is a strict prefix of `b.lineage`.
+    pub(crate) fn lineage(&self) -> &[u32] {
+        &self.lineage
+    }
+
+    /// The execution state at this element entry.
+    pub(crate) fn state(&self) -> &ExecState {
+        &self.state
+    }
+}
+
 /// Mutable context used by the interpreter while processing one pending path.
 struct Ctx {
     solver: Solver,
@@ -361,9 +389,16 @@ struct Ctx {
 /// processed in breadth-first lineage order, and a step's emissions are
 /// ordered by index).
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct EmitKey {
+pub(crate) struct EmitKey {
     parent: Vec<u32>,
     event: u32,
+}
+
+impl EmitKey {
+    /// Lineage of the pending path whose processing emitted this path.
+    pub(crate) fn parent(&self) -> &[u32] {
+        &self.parent
+    }
 }
 
 impl Ord for EmitKey {
@@ -383,22 +418,23 @@ impl PartialOrd for EmitKey {
 }
 
 /// One terminated path, before ids are assigned.
-struct RawResult {
-    key: EmitKey,
-    status: PathStatus,
-    state: ExecState,
+#[derive(Clone, Debug)]
+pub(crate) struct RawResult {
+    pub(crate) key: EmitKey,
+    pub(crate) status: PathStatus,
+    pub(crate) state: ExecState,
 }
 
 /// The shared path budget enforcing [`ExecConfig::max_paths`] exactly: every
 /// reported path reserves one slot atomically *before* it is recorded, so no
 /// interleaving of workers can over-produce.
-struct PathBudget {
+pub(crate) struct PathBudget {
     reserved: AtomicUsize,
     cap: usize,
 }
 
 impl PathBudget {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         PathBudget {
             reserved: AtomicUsize::new(0),
             cap,
@@ -522,9 +558,35 @@ struct StealScheduler {
     queued: AtomicUsize,
     /// Set when the path budget stops the run (or a worker panics).
     stopped: AtomicBool,
+    /// The first caught worker panic, rendered as text. Recorded *before*
+    /// `stop()` so the driver can distinguish "stopped by budget" from
+    /// "stopped by panic".
+    panic: Mutex<Option<String>>,
     /// Sleep coordination for idle workers.
     idle: Mutex<()>,
     ready: Condvar,
+}
+
+/// Locks a mutex, tolerating poison: the engine catches worker panics and
+/// shuts the run down itself, so a poisoned lock only means "some worker
+/// unwound mid-step" — the protected data (queues of pending paths, the panic
+/// slot) is still structurally valid and the remaining workers must keep
+/// draining instead of cascading `expect("poisoned")` panics through the
+/// whole pool.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or `String`
+/// payloads in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
 }
 
 impl StealScheduler {
@@ -538,6 +600,7 @@ impl StealScheduler {
             outstanding: AtomicUsize::new(count),
             queued: AtomicUsize::new(count),
             stopped: AtomicBool::new(false),
+            panic: Mutex::new(None),
             idle: Mutex::new(()),
             ready: Condvar::new(),
         }
@@ -552,14 +615,14 @@ impl StealScheduler {
                 return None;
             }
             // 1. Own deque, newest first (contention-free in the common case).
-            if let Some(p) = self.locals[me].lock().expect("deque poisoned").pop_back() {
+            if let Some(p) = relock(&self.locals[me]).pop_back() {
                 self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
                 stats.local_hits += 1;
                 return Some(p);
             }
             // 2. Shared overflow injector (roots + spilled children), oldest
             // first.
-            if let Some(p) = self.injector.lock().expect("injector poisoned").pop_front() {
+            if let Some(p) = relock(&self.injector).pop_front() {
                 self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
                 return Some(p);
             }
@@ -569,11 +632,7 @@ impl StealScheduler {
             let n = self.locals.len();
             for offset in 1..n {
                 let victim = (me + offset) % n;
-                if let Some(p) = self.locals[victim]
-                    .lock()
-                    .expect("deque poisoned")
-                    .pop_front()
-                {
+                if let Some(p) = relock(&self.locals[victim]).pop_front() {
                     self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
                     stats.steals += 1;
                     return Some(p);
@@ -590,7 +649,7 @@ impl StealScheduler {
                 self.wake_all();
                 return None;
             }
-            let guard = self.idle.lock().expect("idle lock poisoned");
+            let guard = relock(&self.idle);
             if self.queued.load(AtomicOrdering::SeqCst) == 0
                 && !self.stopped.load(AtomicOrdering::SeqCst)
                 && self.outstanding.load(AtomicOrdering::SeqCst) != 0
@@ -598,7 +657,7 @@ impl StealScheduler {
                 let _ = self
                     .ready
                     .wait_timeout(guard, Duration::from_millis(1))
-                    .expect("idle lock poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -615,7 +674,7 @@ impl StealScheduler {
                 .fetch_add(children.len(), AtomicOrdering::SeqCst);
             let mut spill: Vec<PendingPath> = Vec::new();
             {
-                let mut local = self.locals[me].lock().expect("deque poisoned");
+                let mut local = relock(&self.locals[me]);
                 for child in children {
                     if local.len() < LOCAL_DEQUE_CAP {
                         local.push_back(child);
@@ -626,10 +685,7 @@ impl StealScheduler {
             }
             if !spill.is_empty() {
                 stats.overflow_pushes += spill.len() as u64;
-                self.injector
-                    .lock()
-                    .expect("injector poisoned")
-                    .extend(spill);
+                relock(&self.injector).extend(spill);
             }
             self.retire();
             self.wake_all();
@@ -652,18 +708,69 @@ impl StealScheduler {
         self.wake_all();
     }
 
+    /// Records a caught worker panic (the first one wins — later panics are
+    /// usually knock-on effects of the first) and stops the run so every peer
+    /// drains cleanly instead of waiting forever for the dead step to retire.
+    fn poison(&self, message: String) {
+        {
+            let mut slot = relock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(message);
+            }
+        }
+        self.stop();
+    }
+
+    /// Takes the recorded panic message, if any worker panicked.
+    fn take_panic(&self) -> Option<String> {
+        relock(&self.panic).take()
+    }
+
     /// Notifies every sleeping worker. Taking the sleep lock orders the
     /// notification after any in-progress sleeper's queue re-check.
     fn wake_all(&self) {
-        let _guard = self.idle.lock().expect("idle lock poisoned");
+        let _guard = relock(&self.idle);
         self.ready.notify_all();
     }
 }
 
+/// The output of the packet-construction phase of an injection: the root
+/// pending paths, any paths that terminated during construction, the
+/// post-construction injected state and the construction solver's counters.
+pub(crate) struct Construction {
+    pub(crate) results: Vec<RawResult>,
+    pub(crate) roots: Vec<PendingPath>,
+    pub(crate) injected: ExecState,
+    pub(crate) solver_stats: SolverStats,
+}
+
+/// The output of an exploration phase: terminated paths, the element-entry
+/// checkpoints collected for the resident service (empty unless requested)
+/// and the merged per-worker statistics.
+pub(crate) struct Exploration {
+    pub(crate) results: Vec<RawResult>,
+    pub(crate) checkpoints: Vec<PendingPath>,
+    pub(crate) solver_stats: SolverStats,
+    pub(crate) sched: SchedStats,
+}
+
+/// What one worker thread hands back when the run drains.
+struct WorkerOutput {
+    results: Vec<RawResult>,
+    checkpoints: Vec<PendingPath>,
+    solver_stats: SolverStats,
+    sched: SchedStats,
+}
+
 /// The SymNet symbolic execution engine.
+///
+/// The network is held behind an [`Arc`] so that the resident service
+/// ([`crate::service`]) can hand out engine snapshots sharing one topology:
+/// applying a delta clones the `Arc`'d network (copy-on-write), while
+/// in-flight queries keep reading the snapshot they started with.
 #[derive(Clone, Debug)]
 pub struct SymNet {
-    network: Network,
+    network: Arc<Network>,
     config: ExecConfig,
 }
 
@@ -671,13 +778,22 @@ impl SymNet {
     /// Creates an engine over a network with the default configuration.
     pub fn new(network: Network) -> Self {
         SymNet {
-            network,
+            network: Arc::new(network),
             config: ExecConfig::default(),
         }
     }
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(network: Network, config: ExecConfig) -> Self {
+        SymNet {
+            network: Arc::new(network),
+            config,
+        }
+    }
+
+    /// Creates an engine over an already-shared network snapshot (O(1): no
+    /// topology copy — the resident service's entry point).
+    pub fn shared(network: Arc<Network>, config: ExecConfig) -> Self {
         SymNet { network, config }
     }
 
@@ -694,39 +810,88 @@ impl SymNet {
     /// Injects a packet built by `packet` (a construction instruction block,
     /// see [`symnet_sefl::packet`]) at `element`'s input port `input_port` and
     /// explores every execution path.
+    ///
+    /// # Panics
+    ///
+    /// Panics — once, cleanly, on the caller's thread — if a worker panicked
+    /// while processing a path (a defect in a model or the engine). Use
+    /// [`SymNet::try_inject`] to handle that case as an error instead.
     pub fn inject(
         &self,
         element: ElementId,
         input_port: usize,
         packet: &Instruction,
     ) -> ExecutionReport {
+        match self.try_inject(element, input_port, packet) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`SymNet::inject`], but a worker panic is caught, the scheduler
+    /// is drained cleanly and the failure is returned as
+    /// [`EngineError::WorkerPanicked`] instead of aborting the caller.
+    pub fn try_inject(
+        &self,
+        element: ElementId,
+        input_port: usize,
+        packet: &Instruction,
+    ) -> Result<ExecutionReport, EngineError> {
         let start = Instant::now();
+        let budget = PathBudget::new(self.config.max_paths);
+        let construction = self.construct_roots(element, input_port, packet, &budget)?;
+        let exploration = self.explore(construction.roots, &budget, false)?;
+        let mut results = construction.results;
+        results.extend(exploration.results);
+        let mut solver_stats = exploration.solver_stats;
+        solver_stats.merge(&construction.solver_stats);
+        Ok(finalize_report(
+            results,
+            construction.injected,
+            solver_stats,
+            exploration.sched,
+            start,
+        ))
+    }
+
+    /// Builds the symbolic packet in the context of the injection element and
+    /// turns the surviving construction flows into root pending paths.
+    ///
+    /// This runs on the caller's thread; every root path then starts from a
+    /// clone of the post-construction allocator, so fresh variables allocated
+    /// later are a function of the path alone.
+    pub(crate) fn construct_roots(
+        &self,
+        element: ElementId,
+        input_port: usize,
+        packet: &Instruction,
+        budget: &PathBudget,
+    ) -> Result<Construction, EngineError> {
         let mut ctx = Ctx {
             solver: Solver::with_config(self.config.solver),
             symbols: VarAllocator::new(),
         };
         let mut results: Vec<RawResult> = Vec::new();
         let mut roots: Vec<PendingPath> = Vec::new();
-
-        // Build the symbolic packet in the context of the injection element.
-        // This runs on the caller's thread; every root path then starts from a
-        // clone of the post-construction allocator, so fresh variables
-        // allocated later are a function of the path alone.
         let prefix = local_prefix(&self.network, element);
-        let budget = PathBudget::new(self.config.max_paths);
-        let construction = exec_instr(
-            &mut ctx,
-            &prefix,
-            element,
-            &self.network,
-            packet,
-            ExecState::new(),
-        );
+        let flows = catch_unwind(AssertUnwindSafe(|| {
+            exec_instr(
+                &mut ctx,
+                &prefix,
+                element,
+                &self.network,
+                packet,
+                ExecState::new(),
+            )
+        }))
+        .map_err(|payload| EngineError::WorkerPanicked {
+            message: panic_message(payload.as_ref()),
+        })?;
         let mut injected = ExecState::new();
         let mut first = true;
         {
-            let mut sink = StepSink::new(&[], &budget, &mut results, &mut roots);
-            for flow in construction {
+            let mut sink = StepSink::new(&[], budget, &mut results, &mut roots);
+            for flow in flows {
                 match flow.status {
                     FlowStatus::Running => {
                         if first {
@@ -757,61 +922,68 @@ impl SymNet {
                 }
             }
         }
+        Ok(Construction {
+            results,
+            roots,
+            injected,
+            solver_stats: ctx.solver.into_stats(),
+        })
+    }
 
-        // Main exploration: single-threaded drains a plain FIFO (the legacy
-        // path), multi-threaded runs the work-stealing scheduler with
-        // per-worker solver contexts. Both produce the same set of raw
-        // results.
-        let mut solver_stats = SolverStats::default();
-        let mut sched = SchedStats::default();
+    /// Explores every path reachable from `roots`: single-threaded drains a
+    /// plain FIFO (the legacy loop), multi-threaded runs the work-stealing
+    /// scheduler with per-worker solver contexts. Both produce the same set
+    /// of raw results (and, when `collect_checkpoints` is set, one O(1)
+    /// [`PendingPath`] checkpoint per processed element entry — the resident
+    /// service's re-verification roots).
+    pub(crate) fn explore(
+        &self,
+        roots: Vec<PendingPath>,
+        budget: &PathBudget,
+        collect_checkpoints: bool,
+    ) -> Result<Exploration, EngineError> {
         let workers = self.config.threads.max(1);
         if workers == 1 {
-            self.drive_sequential(&mut ctx, &budget, roots, &mut results, &mut sched);
-        } else {
-            let (worker_results, worker_stats, worker_sched) =
-                self.drive_parallel(workers, &budget, roots);
-            results.extend(worker_results);
-            for stats in &worker_stats {
-                solver_stats.merge(stats);
-            }
-            for stats in &worker_sched {
-                sched.merge(stats);
-            }
-        }
-        solver_stats.merge(ctx.solver.stats());
-
-        // Deterministic report order: sort by fork lineage, which reproduces
-        // the emission order of the sequential engine, then assign ids.
-        results.sort_by(|a, b| a.key.cmp(&b.key));
-        let paths = results
-            .into_iter()
-            .enumerate()
-            .map(|(id, raw)| PathReport {
-                id,
-                status: raw.status,
-                state: raw.state,
+            let mut ctx = Ctx {
+                solver: Solver::with_config(self.config.solver),
+                symbols: VarAllocator::new(),
+            };
+            let mut results = Vec::new();
+            let mut checkpoints = Vec::new();
+            let mut sched = SchedStats::default();
+            self.drive_sequential(
+                &mut ctx,
+                budget,
+                roots,
+                collect_checkpoints,
+                &mut results,
+                &mut checkpoints,
+                &mut sched,
+            )?;
+            Ok(Exploration {
+                results,
+                checkpoints,
+                solver_stats: ctx.solver.into_stats(),
+                sched,
             })
-            .collect();
-
-        ExecutionReport {
-            paths,
-            injected,
-            solver_stats,
-            sched,
-            wall_time: start.elapsed(),
+        } else {
+            self.drive_parallel(workers, budget, roots, collect_checkpoints)
         }
     }
 
     /// The single-threaded driver: the legacy FIFO loop (every pop counts as
     /// a local hit — there is nobody to steal from).
+    #[allow(clippy::too_many_arguments)]
     fn drive_sequential(
         &self,
         ctx: &mut Ctx,
         budget: &PathBudget,
         roots: Vec<PendingPath>,
+        collect_checkpoints: bool,
         results: &mut Vec<RawResult>,
+        checkpoints: &mut Vec<PendingPath>,
         sched: &mut SchedStats,
-    ) {
+    ) -> Result<(), EngineError> {
         let mut worklist: VecDeque<PendingPath> = VecDeque::from(roots);
         let mut children: Vec<PendingPath> = Vec::new();
         while let Some(pending) = worklist.pop_front() {
@@ -819,58 +991,94 @@ impl SymNet {
                 break;
             }
             sched.local_hits += 1;
-            self.process_pending(ctx, budget, pending, results, &mut children);
+            if collect_checkpoints {
+                checkpoints.push(pending.clone());
+            }
+            catch_unwind(AssertUnwindSafe(|| {
+                self.process_pending(ctx, budget, pending, results, &mut children)
+            }))
+            .map_err(|payload| EngineError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            })?;
             worklist.extend(children.drain(..));
         }
+        Ok(())
     }
 
     /// The multi-threaded driver: `workers` scoped threads run the
     /// work-stealing scheduler; each owns a solver whose statistics — and
-    /// scheduler counters — are returned for merging.
+    /// scheduler counters — are merged into the returned exploration.
+    ///
+    /// A panic inside a processing step is caught by the worker itself, which
+    /// records it in the scheduler and stops the run; every peer then drains
+    /// and joins normally, and the first panic comes back as
+    /// [`EngineError::WorkerPanicked`]. A panic *outside* the catch (an
+    /// engine bug in the scheduler protocol itself) still unwinds the worker
+    /// thread; the `PanicGuard` stops the run so peers exit, and the join
+    /// error is mapped to the same `EngineError` instead of cascading.
     fn drive_parallel(
         &self,
         workers: usize,
         budget: &PathBudget,
         roots: Vec<PendingPath>,
-    ) -> (Vec<RawResult>, Vec<SolverStats>, Vec<SchedStats>) {
+        collect_checkpoints: bool,
+    ) -> Result<Exploration, EngineError> {
         let sched = StealScheduler::new(workers, roots);
-        let outputs: Vec<(Vec<RawResult>, SolverStats, SchedStats)> = std::thread::scope(|scope| {
+        let joined: Vec<Result<WorkerOutput, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|me| {
                     let sched = &sched;
-                    scope.spawn(move || self.worker(sched, me, budget))
+                    scope.spawn(move || self.worker(sched, me, budget, collect_checkpoints))
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("engine worker thread panicked"))
+                .map(|h| h.join().map_err(|payload| panic_message(payload.as_ref())))
                 .collect()
         });
-        let mut results = Vec::new();
-        let mut stats = Vec::new();
-        let mut sched_stats = Vec::new();
-        for (worker_results, worker_stats, worker_sched) in outputs {
-            results.extend(worker_results);
-            stats.push(worker_stats);
-            sched_stats.push(worker_sched);
+        let mut escaped_panic: Option<String> = None;
+        let mut outputs: Vec<WorkerOutput> = Vec::new();
+        for worker in joined {
+            match worker {
+                Ok(output) => outputs.push(output),
+                Err(message) => escaped_panic = escaped_panic.or(Some(message)),
+            }
         }
-        (results, stats, sched_stats)
+        if let Some(message) = sched.take_panic().or(escaped_panic) {
+            return Err(EngineError::WorkerPanicked { message });
+        }
+        let mut exploration = Exploration {
+            results: Vec::new(),
+            checkpoints: Vec::new(),
+            solver_stats: SolverStats::default(),
+            sched: SchedStats::default(),
+        };
+        for output in outputs {
+            exploration.results.extend(output.results);
+            exploration.checkpoints.extend(output.checkpoints);
+            exploration.solver_stats.merge(&output.solver_stats);
+            exploration.sched.merge(&output.sched);
+        }
+        Ok(exploration)
     }
 
     /// One worker: pop pending paths (own deque first, then the injector,
     /// then stealing), process them with a thread-local context, publish
-    /// forked children onto the own deque.
+    /// forked children onto the own deque. A panicking step is caught here,
+    /// recorded in the scheduler and ends this worker's loop.
     fn worker(
         &self,
         sched: &StealScheduler,
         me: usize,
         budget: &PathBudget,
-    ) -> (Vec<RawResult>, SolverStats, SchedStats) {
-        // If this worker unwinds mid-step (a panic anywhere in the
-        // interpreter or solver), its in-flight slot would otherwise never be
-        // retired and every peer would wait forever for `outstanding` to
-        // drain. The guard stops the scheduler on unwind so peers exit and
-        // the panic propagates through the scope join instead of deadlocking.
+        collect_checkpoints: bool,
+    ) -> WorkerOutput {
+        // Backstop for panics that escape the per-step catch below (a bug in
+        // the scheduler protocol itself): without it, the unwound worker's
+        // in-flight slot would never be retired and every peer would wait
+        // forever for `outstanding` to drain. The guard stops the scheduler
+        // on unwind so peers exit; the join error is then surfaced by
+        // `drive_parallel`.
         struct PanicGuard<'a> {
             sched: &'a StealScheduler,
             armed: bool,
@@ -889,6 +1097,7 @@ impl SymNet {
             symbols: VarAllocator::new(),
         };
         let mut results: Vec<RawResult> = Vec::new();
+        let mut checkpoints: Vec<PendingPath> = Vec::new();
         let mut children: Vec<PendingPath> = Vec::new();
         let mut stats = SchedStats::default();
         while let Some(pending) = sched.pop(me, &mut stats) {
@@ -897,11 +1106,30 @@ impl SymNet {
                 sched.retire();
                 break;
             }
-            self.process_pending(&mut ctx, budget, pending, &mut results, &mut children);
-            sched.complete(me, std::mem::take(&mut children), &mut stats);
+            if collect_checkpoints {
+                checkpoints.push(pending.clone());
+            }
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                self.process_pending(&mut ctx, budget, pending, &mut results, &mut children)
+            }));
+            match step {
+                Ok(()) => sched.complete(me, std::mem::take(&mut children), &mut stats),
+                Err(payload) => {
+                    // First panic wins; `poison` stops the run so the peers
+                    // drain. The dead step is never retired, which is fine:
+                    // `stopped` short-circuits every `pop`.
+                    sched.poison(panic_message(payload.as_ref()));
+                    break;
+                }
+            }
         }
         guard.armed = false;
-        (results, ctx.solver.into_stats(), stats)
+        WorkerOutput {
+            results,
+            checkpoints,
+            solver_stats: ctx.solver.into_stats(),
+            sched: stats,
+        }
     }
 
     /// Processes one path arrival at an element input port, emitting
@@ -1102,6 +1330,37 @@ fn snapshot_included(old: &[Option<IntervalSet>], new: &[Option<IntervalSet>]) -
     comparable
 }
 
+/// Sorts raw results into the deterministic report order (fork lineage — the
+/// emission order of the sequential engine), assigns sequential ids and wraps
+/// everything into an [`ExecutionReport`]. Shared by [`SymNet::try_inject`]
+/// and the resident service, which merges kept pre-delta results with freshly
+/// re-explored ones before finalizing.
+pub(crate) fn finalize_report(
+    mut results: Vec<RawResult>,
+    injected: ExecState,
+    solver_stats: SolverStats,
+    sched: SchedStats,
+    start: Instant,
+) -> ExecutionReport {
+    results.sort_by(|a, b| a.key.cmp(&b.key));
+    let paths = results
+        .into_iter()
+        .enumerate()
+        .map(|(id, raw)| PathReport {
+            id,
+            status: raw.status,
+            state: raw.state,
+        })
+        .collect();
+    ExecutionReport {
+        paths,
+        injected,
+        solver_stats,
+        sched,
+        wall_time: start.elapsed(),
+    }
+}
+
 /// The metadata namespace prefix for local allocations of an element instance.
 fn local_prefix(network: &Network, element: ElementId) -> String {
     format!("local:{}#{}:", network.element(element).name, element.0)
@@ -1192,6 +1451,11 @@ fn exec_instr(
             state.push_trace(TraceEntry::Message(msg.clone()));
             vec![Flow::dropped(state, DropReason::Failed(msg.clone()))]
         }
+        // The deliberate poison pill: a deterministic panic in both debug and
+        // release builds, simulating a defective model or engine. The panic
+        // is caught by the worker loop and surfaced as
+        // [`EngineError::WorkerPanicked`].
+        Instruction::Abort(msg) => panic!("SEFL Abort: {msg}"),
         Instruction::If { .. } => {
             // If-chains (an `If` whose else branch is another `If`) are walked
             // iteratively: the basic switch/router models of §8.1 nest one `If`
@@ -1841,5 +2105,82 @@ mod tests {
         );
         let report = engine.inject(e, 0, &symbolic_tcp_packet());
         assert_eq!(report.path_count(), 2);
+    }
+
+    #[test]
+    fn worker_panics_surface_as_engine_errors() {
+        // A deliberately-panicking element program (the Abort poison pill).
+        // The first panic must come back as a single EngineError at every
+        // thread count — no poisoned-mutex cascade, no deadlock, no abort.
+        let mut net = Network::new();
+        let a = net.add_element(
+            ElementProgram::new("a", 1, 4).with_any_input_code(Instruction::fork(vec![0, 1, 2, 3])),
+        );
+        let bomb = net.add_element(
+            ElementProgram::new("bomb", 1, 1)
+                .with_any_input_code(Instruction::abort("defective model")),
+        );
+        for port in 0..4 {
+            net.add_link(a, port, bomb, 0);
+        }
+        for threads in [1usize, 2, 8] {
+            let engine =
+                SymNet::with_config(net.clone(), ExecConfig::default().with_threads(threads));
+            let err = engine
+                .try_inject(a, 0, &symbolic_tcp_packet())
+                .expect_err("the bomb element must fail the run");
+            let EngineError::WorkerPanicked { message } = err;
+            assert!(
+                message.contains("SEFL Abort: defective model"),
+                "panic message at {threads} threads: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_survives_a_panicked_run() {
+        // After a panicked run the engine keeps working: no shared state was
+        // left poisoned, a fresh scheduler starts clean.
+        let mut net = Network::new();
+        let bomb = net.add_element(
+            ElementProgram::new("bomb", 1, 1).with_any_input_code(Instruction::abort("boom")),
+        );
+        let ok = net.add_element(
+            ElementProgram::new("ok", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        let engine = SymNet::with_config(net, ExecConfig::default().with_threads(4));
+        assert!(engine.try_inject(bomb, 0, &symbolic_tcp_packet()).is_err());
+        let report = engine.inject(ok, 0, &symbolic_tcp_packet());
+        assert_eq!(report.delivered().count(), 1);
+    }
+
+    #[test]
+    fn inject_panics_once_on_worker_panic() {
+        // The panicking API panics exactly once, on the caller's thread, with
+        // the EngineError rendering — not with a poisoned-mutex cascade.
+        let mut net = Network::new();
+        let bomb = net.add_element(
+            ElementProgram::new("bomb", 1, 1).with_any_input_code(Instruction::abort("boom")),
+        );
+        let engine = SymNet::with_config(net, ExecConfig::default().with_threads(2));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            engine.inject(bomb, 0, &symbolic_tcp_packet())
+        }));
+        let message = panic_message(caught.expect_err("inject must panic").as_ref());
+        assert!(message.contains("engine worker panicked"), "{message}");
+        assert!(message.contains("SEFL Abort: boom"), "{message}");
+    }
+
+    #[test]
+    fn panic_during_construction_is_caught() {
+        let mut net = Network::new();
+        let e = net.add_element(
+            ElementProgram::new("e", 1, 1).with_any_input_code(Instruction::forward(0)),
+        );
+        let engine = SymNet::new(net);
+        let packet = Instruction::block(vec![symbolic_tcp_packet(), Instruction::abort("ctor")]);
+        let err = engine.try_inject(e, 0, &packet).expect_err("must fail");
+        let EngineError::WorkerPanicked { message } = err;
+        assert!(message.contains("SEFL Abort: ctor"), "{message}");
     }
 }

@@ -74,6 +74,35 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A run-level failure of the execution engine. Unlike [`ExecError`], which
+/// terminates a single symbolic path, an `EngineError` aborts the whole
+/// analysis: no report is produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A worker thread (or the single-threaded driver) panicked while
+    /// processing a path — a defect in a model or in the engine itself. The
+    /// engine catches the first panic, stops the scheduler, drains the
+    /// remaining workers cleanly and surfaces the panic message here instead
+    /// of cascading poisoned-mutex panics through the whole pool.
+    WorkerPanicked {
+        /// The panic payload, rendered as text (`"<non-string panic>"` when
+        /// the payload is neither `&str` nor `String`).
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanicked { message } => {
+                write!(f, "engine worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Why an execution path terminated without being delivered.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropReason {

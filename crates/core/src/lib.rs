@@ -47,13 +47,15 @@ pub mod error;
 pub mod network;
 pub mod pmap;
 pub mod report;
+pub mod service;
 pub mod state;
 pub mod symbols;
 pub mod value;
 pub mod verify;
 
 pub use engine::{ExecConfig, ExecutionReport, PathReport, PathStatus, SymNet};
-pub use error::{DropReason, ExecError};
+pub use error::{DropReason, EngineError, ExecError};
 pub use network::{ElementId, Network};
+pub use service::{QueryId, ServiceReport, ServiceStats, UpdateStats, VerifyService};
 pub use state::ExecState;
 pub use value::Value;

@@ -49,6 +49,21 @@ impl Network {
         &self.elements[id.0]
     }
 
+    /// Replaces an element's program in place, keeping its id and links — how
+    /// the resident service applies a rule delta to a copy-on-write topology
+    /// snapshot. The new program must keep the old port counts (links refer
+    /// to ports by index); changing the shape of an element is a topology
+    /// change, not a rule delta. Panics on a port-count mismatch.
+    pub fn replace_element(&mut self, id: ElementId, program: ElementProgram) {
+        let old = &self.elements[id.0];
+        assert_eq!(
+            (old.input_count, old.output_count),
+            (program.input_count, program.output_count),
+            "replacement for element {id} must keep its port counts"
+        );
+        self.elements[id.0] = program;
+    }
+
     /// Returns the element with the given name, if unique names are used.
     pub fn element_by_name(&self, name: &str) -> Option<ElementId> {
         self.elements
@@ -203,6 +218,26 @@ mod tests {
     fn linking_missing_port_panics() {
         let (mut net, a, b) = two_element_net();
         net.add_link(a, 5, b, 0);
+    }
+
+    #[test]
+    fn replace_element_keeps_ids_and_links() {
+        let (mut net, a, b) = two_element_net();
+        net.add_link(a, 0, b, 0);
+        net.replace_element(
+            a,
+            ElementProgram::new("A'", 1, 2).with_any_input_code(Instruction::forward(1)),
+        );
+        assert_eq!(net.element(a).name, "A'");
+        assert_eq!(net.link_from(a, 0), Some((b, 0)));
+        assert_eq!(net.element_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "port counts")]
+    fn replace_element_rejects_shape_changes() {
+        let (mut net, a, _) = two_element_net();
+        net.replace_element(a, ElementProgram::new("A'", 2, 2));
     }
 
     #[test]

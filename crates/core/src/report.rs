@@ -46,6 +46,32 @@ pub fn report_to_json_string(report: &ExecutionReport, network: &Network) -> Str
         .expect("report JSON serialisation cannot fail")
 }
 
+/// Renders only the strategy-independent part of a report: the paths and
+/// their counts, without the solver counters.
+///
+/// This is the comparison form of the resident service
+/// ([`crate::service::VerifyService`]): an incremental re-verification and a
+/// from-scratch run explore the same paths but perform different amounts of
+/// solver work, so their counters legitimately differ — exactly like wall
+/// time and the scheduler counters, which [`report_to_json`] already
+/// excludes. Everything that describes the *network's behaviour* (statuses,
+/// headers, metadata, constraints, traces, ids) is included and must be
+/// byte-identical across strategies, solver modes and thread counts.
+pub fn canonical_report_json(report: &ExecutionReport, network: &Network) -> Json {
+    json!({
+        "paths": report.paths.iter().map(|p| path_to_json(p, network)).collect::<Vec<_>>(),
+        "path_count": report.path_count(),
+        "delivered_count": report.delivered().count(),
+    })
+}
+
+/// Renders the canonical (strategy-independent) report as pretty-printed
+/// JSON text — see [`canonical_report_json`].
+pub fn canonical_report_json_string(report: &ExecutionReport, network: &Network) -> String {
+    serde_json::to_string_pretty(&canonical_report_json(report, network))
+        .expect("report JSON serialisation cannot fail")
+}
+
 /// Renders one path as a JSON value.
 pub fn path_to_json(path: &PathReport, network: &Network) -> Json {
     let status = match &path.status {

@@ -1,0 +1,210 @@
+//! Access-control-list filter model.
+//!
+//! SymNet's firewall discussion (§4.3, §8) models filtering devices whose
+//! behaviour is a first-match-wins rule list over the 5-tuple. This module
+//! provides the rule-table side of that model: an [`AclTable`] of
+//! [`AclRule`]s and an [`acl_filter`] builder that compiles the table into a
+//! one-in/one-out SEFL element. Like the MAC and FIB tables, the `AclTable`
+//! is plain data — the resident service re-compiles it into a fresh
+//! [`ElementProgram`] after every ACL edit delta.
+
+use symnet_sefl::cond::Condition;
+use symnet_sefl::fields::{ip_dst, ip_proto, ip_src, tcp_dst};
+use symnet_sefl::{ElementProgram, Instruction};
+
+/// What a matching rule does with the packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AclAction {
+    /// Forward the packet out of port 0.
+    Permit,
+    /// Drop the packet (the path fails with "Acl deny").
+    Deny,
+}
+
+/// One ACL rule. Every field is optional; `None` matches anything, so a rule
+/// with all fields `None` is a catch-all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AclRule {
+    /// Source prefix as `(address, prefix_len)`.
+    pub src: Option<(u32, u8)>,
+    /// Destination prefix as `(address, prefix_len)`.
+    pub dst: Option<(u32, u8)>,
+    /// Exact IP protocol number.
+    pub proto: Option<u64>,
+    /// Exact TCP destination port.
+    pub dst_port: Option<u64>,
+    /// Action on match.
+    pub action: AclAction,
+}
+
+impl AclRule {
+    /// A rule that permits everything (place last for default-permit lists).
+    pub fn permit_any() -> AclRule {
+        AclRule {
+            src: None,
+            dst: None,
+            proto: None,
+            dst_port: None,
+            action: AclAction::Permit,
+        }
+    }
+
+    /// The match condition of this rule ([`Condition::True`] for a
+    /// catch-all).
+    pub fn condition(&self) -> Condition {
+        let mut parts = Vec::new();
+        if let Some((prefix, len)) = self.src {
+            parts.push(Condition::matches_ipv4_prefix(
+                ip_src().field(),
+                prefix as u64,
+                len,
+            ));
+        }
+        if let Some((prefix, len)) = self.dst {
+            parts.push(Condition::matches_ipv4_prefix(
+                ip_dst().field(),
+                prefix as u64,
+                len,
+            ));
+        }
+        if let Some(proto) = self.proto {
+            parts.push(Condition::eq(ip_proto().field(), proto));
+        }
+        if let Some(port) = self.dst_port {
+            parts.push(Condition::eq(tcp_dst().field(), port));
+        }
+        Condition::and(parts)
+    }
+}
+
+/// An ordered first-match-wins rule list. Packets that match no rule are
+/// denied, mirroring the implicit deny of real ACLs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AclTable {
+    /// The rules, most specific first (evaluation order).
+    pub rules: Vec<AclRule>,
+}
+
+impl AclTable {
+    /// An empty (deny-everything) table.
+    pub fn new() -> AclTable {
+        AclTable::default()
+    }
+
+    /// Appends a rule at the end of the list; returns `self` for chaining.
+    pub fn push(&mut self, rule: AclRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Inserts a rule at `index` (clamped to the list length). ACL edits are
+    /// positional: inserting a deny above a permit shadows it.
+    pub fn insert(&mut self, index: usize, rule: AclRule) {
+        let index = index.min(self.rules.len());
+        self.rules.insert(index, rule);
+    }
+
+    /// Removes the rule at `index`; returns `false` if out of range.
+    pub fn remove(&mut self, index: usize) -> bool {
+        if index < self.rules.len() {
+            self.rules.remove(index);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the table has no rules (implicit deny-everything).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Compiles an ACL table into a one-in/one-out filter element.
+///
+/// First match wins: the rule list becomes a chain of `If`s, most specific
+/// first, ending in an implicit deny. Permit forwards out of port 0.
+pub fn acl_filter(name: &str, table: &AclTable) -> ElementProgram {
+    let mut code = Instruction::fail("Acl deny");
+    for rule in table.rules.iter().rev() {
+        let hit = match rule.action {
+            AclAction::Permit => Instruction::forward(0),
+            AclAction::Deny => Instruction::fail("Acl deny"),
+        };
+        code = Instruction::if_else(rule.condition(), hit, code);
+    }
+    ElementProgram::new(name, 1, 1).with_any_input_code(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::engine::SymNet;
+    use symnet_core::network::Network;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    fn run(table: &AclTable) -> symnet_core::ExecutionReport {
+        let mut net = Network::new();
+        let acl = net.add_element(acl_filter("acl", table));
+        SymNet::new(net).inject(acl, 0, &symbolic_tcp_packet())
+    }
+
+    #[test]
+    fn empty_table_denies_everything() {
+        let report = run(&AclTable::new());
+        assert_eq!(report.delivered().count(), 0);
+        assert_eq!(report.path_count(), 1);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        // Deny 10.0.0.0/8 to port 22, permit everything else.
+        let mut table = AclTable::new();
+        table.push(AclRule {
+            src: Some((0x0a00_0000, 8)),
+            dst: None,
+            proto: None,
+            dst_port: Some(22),
+            action: AclAction::Deny,
+        });
+        table.push(AclRule::permit_any());
+        let report = run(&table);
+        // One denied path (the specific rule), one permitted path.
+        assert_eq!(report.delivered().count(), 1);
+        let delivered = report.delivered().next().unwrap();
+        let cond = delivered.state.path_condition().to_string();
+        // The permitted path carries the negation of the deny rule.
+        assert!(
+            cond.contains("22"),
+            "permit path must exclude the deny rule: {cond}"
+        );
+    }
+
+    #[test]
+    fn inserting_a_deny_shadows_a_permit() {
+        let mut table = AclTable::new();
+        table.push(AclRule::permit_any());
+        let before = run(&table);
+        assert_eq!(before.delivered().count(), 1);
+
+        table.insert(
+            0,
+            AclRule {
+                src: None,
+                dst: None,
+                proto: None,
+                dst_port: None,
+                action: AclAction::Deny,
+            },
+        );
+        let after = run(&table);
+        assert_eq!(after.delivered().count(), 0);
+        assert!(table.remove(0));
+        assert!(!table.remove(7));
+    }
+}

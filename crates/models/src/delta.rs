@@ -1,0 +1,558 @@
+//! Typed rule deltas for the resident verification service.
+//!
+//! SymNet's element programs are *compiled* from rule tables — MAC tables,
+//! FIBs, NAT configurations, ACL rule lists. A control-plane event (a MAC is
+//! learned, a route is withdrawn, an ACL line is inserted) therefore maps to:
+//! mutate the table, recompile the one affected element's program, and hand
+//! the new program to [`VerifyService::apply_update`], which invalidates
+//! exactly the path suffixes that traversed that element.
+//!
+//! [`Delta`] is the typed vocabulary of such events and [`RuleTables`] is the
+//! driver that owns the authoritative table state per element and performs
+//! the mutate → recompile → apply step. The tables live *outside* the
+//! [`Network`](symnet_core::network::Network) on purpose: the network holds
+//! only compiled programs, so the service core stays generic over models.
+//!
+//! ```
+//! use symnet_core::{ExecConfig, VerifyService};
+//! use symnet_core::network::Network;
+//! use symnet_models::delta::{Delta, RuleTables, SwitchModel};
+//! use symnet_models::switch::{switch_egress, MacTable};
+//! use symnet_sefl::packet::symbolic_tcp_packet;
+//!
+//! let mut table = MacTable::new(2);
+//! table.add(0xaa, None, 0);
+//! let mut net = Network::new();
+//! let sw = net.add_element(switch_egress("sw", &table));
+//! let mut tables = RuleTables::new();
+//! tables.register_switch(sw, "sw", table, SwitchModel::Egress);
+//!
+//! let mut service = VerifyService::new(net, ExecConfig::default());
+//! let q = service.add_query("reach", sw, 0, symbolic_tcp_packet());
+//! service.verify(q).unwrap();
+//! let stats = tables
+//!     .apply(&mut service, &Delta::MacLearn { element: sw, mac: 0xbb, vlan: None, port: 1 })
+//!     .unwrap();
+//! assert!(stats.is_some(), "a new MAC entry must recompile the switch");
+//! ```
+
+use crate::acl::{acl_filter, AclRule, AclTable};
+use crate::nat::{nat, NatConfig};
+use crate::router::{router_basic, router_egress, router_egress_with_ttl, router_ingress, Fib};
+use crate::switch::{switch_basic, switch_egress, switch_egress_vlan, switch_ingress, MacTable};
+use std::collections::BTreeMap;
+use std::fmt;
+use symnet_core::network::ElementId;
+use symnet_core::{UpdateStats, VerifyService};
+use symnet_sefl::ElementProgram;
+
+/// Which switch model a registered MAC table compiles to (§7 evaluates all
+/// three; egress is the scalable default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchModel {
+    /// One `If` per table entry ([`switch_basic`]).
+    Basic,
+    /// Per-port nested `If`s ([`switch_ingress`]).
+    Ingress,
+    /// Fork-then-constrain ([`switch_egress`]).
+    Egress,
+    /// Fork-then-constrain with VLAN constraints ([`switch_egress_vlan`]).
+    EgressVlan,
+}
+
+/// Which router model a registered FIB compiles to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterModel {
+    /// Longest-prefix `If` chain ([`router_basic`]).
+    Basic,
+    /// Per-port nested `If`s ([`router_ingress`]).
+    Ingress,
+    /// Fork-then-constrain ([`router_egress`]).
+    Egress,
+    /// Fork-then-constrain plus TTL decrement ([`router_egress_with_ttl`]).
+    EgressTtl,
+}
+
+/// A control-plane event, typed per table kind (the ISSUE's delta taxonomy:
+/// MAC learn/age, LPM route add/withdraw, NAT binding churn, ACL edits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delta {
+    /// A switch learned `mac` (optionally on `vlan`) behind `port`.
+    MacLearn {
+        /// The switch element.
+        element: ElementId,
+        /// The learned MAC address.
+        mac: u64,
+        /// VLAN the entry applies to, if any.
+        vlan: Option<u64>,
+        /// Output port the MAC now lives behind.
+        port: usize,
+    },
+    /// A switch aged out (or was told to flush) `mac`.
+    MacAge {
+        /// The switch element.
+        element: ElementId,
+        /// The aged-out MAC address.
+        mac: u64,
+        /// VLAN the entry applied to, if any.
+        vlan: Option<u64>,
+    },
+    /// A route was announced to a router.
+    RouteAdd {
+        /// The router element.
+        element: ElementId,
+        /// Route prefix.
+        prefix: u32,
+        /// Prefix length in bits.
+        prefix_len: u8,
+        /// Output port of the route.
+        port: usize,
+    },
+    /// A route was withdrawn from a router.
+    RouteWithdraw {
+        /// The router element.
+        element: ElementId,
+        /// Route prefix.
+        prefix: u32,
+        /// Prefix length in bits.
+        prefix_len: u8,
+    },
+    /// A NAT's binding configuration churned (new public address or port
+    /// range).
+    NatRebind {
+        /// The NAT element.
+        element: ElementId,
+        /// The replacement configuration.
+        config: NatConfig,
+    },
+    /// An ACL line was inserted at `index` (clamped to the list length).
+    AclInsert {
+        /// The filter element.
+        element: ElementId,
+        /// Position in the first-match-wins list.
+        index: usize,
+        /// The new rule.
+        rule: AclRule,
+    },
+    /// The ACL line at `index` was removed.
+    AclRemove {
+        /// The filter element.
+        element: ElementId,
+        /// Position of the removed rule.
+        index: usize,
+    },
+}
+
+impl Delta {
+    /// The element this delta targets.
+    pub fn element(&self) -> ElementId {
+        match *self {
+            Delta::MacLearn { element, .. }
+            | Delta::MacAge { element, .. }
+            | Delta::RouteAdd { element, .. }
+            | Delta::RouteWithdraw { element, .. }
+            | Delta::NatRebind { element, .. }
+            | Delta::AclInsert { element, .. }
+            | Delta::AclRemove { element, .. } => element,
+        }
+    }
+}
+
+/// Why a delta could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The target element was never registered with the [`RuleTables`].
+    UnknownElement(ElementId),
+    /// The delta's kind does not match the element's table (e.g. a
+    /// `RouteAdd` aimed at a switch).
+    WrongTable {
+        /// The target element.
+        element: ElementId,
+        /// The table kind the delta requires.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownElement(id) => {
+                write!(f, "element {id} has no registered rule table")
+            }
+            DeltaError::WrongTable { element, expected } => {
+                write!(f, "element {element} is not a {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The rule table behind one element, plus the model it compiles to.
+enum ElementTables {
+    Switch { table: MacTable, model: SwitchModel },
+    Router { fib: Fib, model: RouterModel },
+    Nat { config: NatConfig },
+    Acl { table: AclTable },
+}
+
+struct Registered {
+    name: String,
+    tables: ElementTables,
+}
+
+/// The authoritative rule-table state of a verified network: one table per
+/// delta-capable element, with enough information to recompile that
+/// element's program after any [`Delta`].
+#[derive(Default)]
+pub struct RuleTables {
+    elements: BTreeMap<ElementId, Registered>,
+}
+
+impl RuleTables {
+    /// An empty registry.
+    pub fn new() -> RuleTables {
+        RuleTables::default()
+    }
+
+    /// Registers a switch's MAC table. The table must be the one the
+    /// element's current program was compiled from.
+    pub fn register_switch(
+        &mut self,
+        element: ElementId,
+        name: &str,
+        table: MacTable,
+        model: SwitchModel,
+    ) {
+        self.insert(element, name, ElementTables::Switch { table, model });
+    }
+
+    /// Registers a router's FIB.
+    pub fn register_router(
+        &mut self,
+        element: ElementId,
+        name: &str,
+        fib: Fib,
+        model: RouterModel,
+    ) {
+        self.insert(element, name, ElementTables::Router { fib, model });
+    }
+
+    /// Registers a NAT's configuration.
+    pub fn register_nat(&mut self, element: ElementId, name: &str, config: NatConfig) {
+        self.insert(element, name, ElementTables::Nat { config });
+    }
+
+    /// Registers a filter's ACL table.
+    pub fn register_acl(&mut self, element: ElementId, name: &str, table: AclTable) {
+        self.insert(element, name, ElementTables::Acl { table });
+    }
+
+    fn insert(&mut self, element: ElementId, name: &str, tables: ElementTables) {
+        self.elements.insert(
+            element,
+            Registered {
+                name: name.to_string(),
+                tables,
+            },
+        );
+    }
+
+    /// Compiles the current table of `element` into a fresh program, or
+    /// `None` if the element has no registered table.
+    pub fn program(&self, element: ElementId) -> Option<ElementProgram> {
+        self.elements.get(&element).map(Registered::compile)
+    }
+
+    /// Applies a delta: mutates the table, recompiles the element's program
+    /// and hands it to the service (which invalidates the affected path
+    /// suffixes).
+    ///
+    /// Returns `Ok(None)` when the delta is a no-op on the table (e.g.
+    /// re-learning a MAC behind the port it is already on, or withdrawing a
+    /// route that was never announced) — the program is *not* recompiled and
+    /// no verification state is invalidated.
+    pub fn apply(
+        &mut self,
+        service: &mut VerifyService,
+        delta: &Delta,
+    ) -> Result<Option<UpdateStats>, DeltaError> {
+        let element = delta.element();
+        let registered = self
+            .elements
+            .get_mut(&element)
+            .ok_or(DeltaError::UnknownElement(element))?;
+        let changed = registered.tables.mutate(element, delta)?;
+        if !changed {
+            return Ok(None);
+        }
+        Ok(Some(service.apply_update(element, registered.compile())))
+    }
+}
+
+impl Registered {
+    fn compile(&self) -> ElementProgram {
+        match &self.tables {
+            ElementTables::Switch { table, model } => match model {
+                SwitchModel::Basic => switch_basic(&self.name, table),
+                SwitchModel::Ingress => switch_ingress(&self.name, table),
+                SwitchModel::Egress => switch_egress(&self.name, table),
+                SwitchModel::EgressVlan => switch_egress_vlan(&self.name, table),
+            },
+            ElementTables::Router { fib, model } => match model {
+                RouterModel::Basic => router_basic(&self.name, fib),
+                RouterModel::Ingress => router_ingress(&self.name, fib),
+                RouterModel::Egress => router_egress(&self.name, fib),
+                RouterModel::EgressTtl => router_egress_with_ttl(&self.name, fib),
+            },
+            ElementTables::Nat { config } => nat(&self.name, *config),
+            ElementTables::Acl { table } => acl_filter(&self.name, table),
+        }
+    }
+}
+
+impl ElementTables {
+    /// Applies the delta to the table; `Ok(true)` iff the table changed.
+    fn mutate(&mut self, element: ElementId, delta: &Delta) -> Result<bool, DeltaError> {
+        let wrong = |expected: &'static str| DeltaError::WrongTable { element, expected };
+        match delta {
+            Delta::MacLearn {
+                mac, vlan, port, ..
+            } => match self {
+                ElementTables::Switch { table, .. } => Ok(table.learn(*mac, *vlan, *port)),
+                _ => Err(wrong("switch")),
+            },
+            Delta::MacAge { mac, vlan, .. } => match self {
+                ElementTables::Switch { table, .. } => Ok(table.remove(*mac, *vlan)),
+                _ => Err(wrong("switch")),
+            },
+            Delta::RouteAdd {
+                prefix,
+                prefix_len,
+                port,
+                ..
+            } => match self {
+                ElementTables::Router { fib, .. } => {
+                    // `Fib::add` has no change detection; an identical entry
+                    // is a no-op, anything else (including a port move,
+                    // modelled as withdraw + add) changes the table.
+                    let exists = fib.entries.iter().any(|e| {
+                        e.prefix == *prefix && e.prefix_len == *prefix_len && e.port == *port
+                    });
+                    if exists {
+                        return Ok(false);
+                    }
+                    fib.withdraw(*prefix, *prefix_len);
+                    fib.add(*prefix, *prefix_len, *port);
+                    Ok(true)
+                }
+                _ => Err(wrong("router")),
+            },
+            Delta::RouteWithdraw {
+                prefix, prefix_len, ..
+            } => match self {
+                ElementTables::Router { fib, .. } => Ok(fib.withdraw(*prefix, *prefix_len)),
+                _ => Err(wrong("router")),
+            },
+            Delta::NatRebind { config, .. } => match self {
+                ElementTables::Nat { config: current } => {
+                    if current == config {
+                        return Ok(false);
+                    }
+                    *current = *config;
+                    Ok(true)
+                }
+                _ => Err(wrong("nat")),
+            },
+            Delta::AclInsert { index, rule, .. } => match self {
+                ElementTables::Acl { table } => {
+                    table.insert(*index, *rule);
+                    Ok(true)
+                }
+                _ => Err(wrong("acl")),
+            },
+            Delta::AclRemove { index, .. } => match self {
+                ElementTables::Acl { table } => Ok(table.remove(*index)),
+                _ => Err(wrong("acl")),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::network::Network;
+    use symnet_core::ExecConfig;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    fn switch_service() -> (VerifyService, RuleTables, ElementId) {
+        let mut table = MacTable::new(4);
+        table.add(0xaa, None, 0).add(0xbb, None, 1);
+        let mut net = Network::new();
+        let sw = net.add_element(switch_egress("sw", &table));
+        let mut tables = RuleTables::new();
+        tables.register_switch(sw, "sw", table, SwitchModel::Egress);
+        let mut service = VerifyService::new(net, ExecConfig::default());
+        let q = service.add_query("all", sw, 0, symbolic_tcp_packet());
+        service.verify(q).unwrap();
+        (service, tables, sw)
+    }
+
+    #[test]
+    fn mac_learn_and_age_drive_the_service() {
+        let (mut service, mut tables, sw) = switch_service();
+        let learned = tables
+            .apply(
+                &mut service,
+                &Delta::MacLearn {
+                    element: sw,
+                    mac: 0xcc,
+                    vlan: None,
+                    port: 2,
+                },
+            )
+            .unwrap();
+        assert!(learned.is_some());
+        // Re-learning the same entry is a no-op: no invalidation at all.
+        let relearn = tables
+            .apply(
+                &mut service,
+                &Delta::MacLearn {
+                    element: sw,
+                    mac: 0xcc,
+                    vlan: None,
+                    port: 2,
+                },
+            )
+            .unwrap();
+        assert!(relearn.is_none());
+        let aged = tables
+            .apply(
+                &mut service,
+                &Delta::MacAge {
+                    element: sw,
+                    mac: 0xcc,
+                    vlan: None,
+                },
+            )
+            .unwrap();
+        assert!(aged.is_some());
+        // The table round-tripped, so verification sees the original network
+        // again: three delivered paths would mean the learn leaked through.
+        let q = service.query_ids().next().unwrap();
+        let report = service.verify(q).unwrap();
+        assert_eq!(report.report.delivered().count(), 2);
+    }
+
+    #[test]
+    fn wrong_kind_and_unknown_element_are_rejected() {
+        let (mut service, mut tables, sw) = switch_service();
+        let err = tables
+            .apply(
+                &mut service,
+                &Delta::RouteAdd {
+                    element: sw,
+                    prefix: 0x0a000000,
+                    prefix_len: 8,
+                    port: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::WrongTable {
+                element: sw,
+                expected: "router"
+            }
+        );
+        let ghost = ElementId(99);
+        let err = tables
+            .apply(
+                &mut service,
+                &Delta::MacAge {
+                    element: ghost,
+                    mac: 1,
+                    vlan: None,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, DeltaError::UnknownElement(ghost));
+        assert!(err.to_string().contains("no registered rule table"));
+    }
+
+    #[test]
+    fn route_and_nat_and_acl_deltas_mutate_their_tables() {
+        let mut fib = Fib::new(2);
+        fib.add(0x0a000000, 8, 0);
+        let mut net = Network::new();
+        let r = net.add_element(router_egress("r", &fib));
+        let n = net.add_element(nat("n", NatConfig::default()));
+        let a = net.add_element(acl_filter("a", &AclTable::new()));
+        let mut tables = RuleTables::new();
+        tables.register_router(r, "r", fib, RouterModel::Egress);
+        tables.register_nat(n, "n", NatConfig::default());
+        tables.register_acl(a, "a", AclTable::new());
+        let mut service = VerifyService::new(net, ExecConfig::default());
+
+        // Announce, duplicate-announce (no-op), withdraw, double-withdraw.
+        let add = Delta::RouteAdd {
+            element: r,
+            prefix: 0x0b000000,
+            prefix_len: 8,
+            port: 1,
+        };
+        assert!(tables.apply(&mut service, &add).unwrap().is_some());
+        assert!(tables.apply(&mut service, &add).unwrap().is_none());
+        let withdraw = Delta::RouteWithdraw {
+            element: r,
+            prefix: 0x0b000000,
+            prefix_len: 8,
+        };
+        assert!(tables.apply(&mut service, &withdraw).unwrap().is_some());
+        assert!(tables.apply(&mut service, &withdraw).unwrap().is_none());
+
+        // NAT rebind: identical config is a no-op, a new port range is not.
+        let same = Delta::NatRebind {
+            element: n,
+            config: NatConfig::default(),
+        };
+        assert!(tables.apply(&mut service, &same).unwrap().is_none());
+        let rebind = Delta::NatRebind {
+            element: n,
+            config: NatConfig {
+                port_low: 2048,
+                ..NatConfig::default()
+            },
+        };
+        assert!(tables.apply(&mut service, &rebind).unwrap().is_some());
+
+        // ACL edits.
+        let permit = Delta::AclInsert {
+            element: a,
+            index: 0,
+            rule: AclRule::permit_any(),
+        };
+        assert!(tables.apply(&mut service, &permit).unwrap().is_some());
+        assert!(tables
+            .apply(
+                &mut service,
+                &Delta::AclRemove {
+                    element: a,
+                    index: 0
+                }
+            )
+            .unwrap()
+            .is_some());
+        assert!(tables
+            .apply(
+                &mut service,
+                &Delta::AclRemove {
+                    element: a,
+                    index: 0
+                }
+            )
+            .unwrap()
+            .is_none());
+    }
+}

@@ -28,12 +28,20 @@
 //! * [`scenarios`] — topology builders for the §2 tunnel chain, the §8.4
 //!   Split-TCP deployment, the §8.5 CS department network and the synthetic
 //!   Stanford-like backbone used for the Table 3 comparison.
+//! * [`acl`] — first-match-wins access-control lists compiled into filter
+//!   elements, editable line by line.
+//! * [`delta`] — the typed control-plane [`delta::Delta`] vocabulary (MAC
+//!   learn/age, route add/withdraw, NAT rebind, ACL edits) and the
+//!   [`delta::RuleTables`] driver that recompiles element programs and feeds
+//!   them to the resident [`symnet_core::VerifyService`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acl;
 pub mod asa;
 pub mod click;
+pub mod delta;
 pub mod nat;
 pub mod router;
 pub mod scenarios;
@@ -41,5 +49,7 @@ pub mod switch;
 pub mod tcp_options;
 pub mod tunnel;
 
+pub use acl::{AclAction, AclRule, AclTable};
+pub use delta::{Delta, DeltaError, RouterModel, RuleTables, SwitchModel};
 pub use router::{Fib, FibEntry};
 pub use switch::{MacTable, MacTableEntry};

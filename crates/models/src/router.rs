@@ -78,6 +78,16 @@ impl Fib {
         self
     }
 
+    /// Withdraws a route: removes every entry with exactly this prefix — the
+    /// route-withdrawal delta of the resident service. Returns true if an
+    /// entry was removed. (Adding a route is [`Fib::add`].)
+    pub fn withdraw(&mut self, prefix: u32, prefix_len: u8) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.prefix == prefix && e.prefix_len == prefix_len));
+        self.entries.len() != before
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -482,6 +482,79 @@ pub fn stanford_backbone(zone_routers: usize, prefixes_per_router: usize) -> Bac
     }
 }
 
+// ---------------------------------------------------------------------------
+// Delta fan-out (resident-service benchmark topology)
+// ---------------------------------------------------------------------------
+
+/// The delta fan-out topology of the `service_deltas` benchmark: an injection
+/// wire feeding a root egress switch whose `leaves` output ports each lead to
+/// a leaf egress switch. Leaf `i` owns `macs_per_leaf` MAC addresses, one per
+/// (unlinked, hence delivering) output port, so the full exploration yields
+/// `leaves × macs_per_leaf` delivered paths and a single-MAC delta at one
+/// leaf invalidates exactly the `1/leaves` fraction of paths that enter it.
+pub struct DeltaFanout {
+    /// The network.
+    pub network: Network,
+    /// The injection element (a wire in front of the root switch).
+    pub access: ElementId,
+    /// The root switch.
+    pub root: ElementId,
+    /// The leaf switches, in port order.
+    pub leaves: Vec<ElementId>,
+    /// Rule tables for every switch, registered for [`crate::delta::Delta`]
+    /// application.
+    pub tables: crate::delta::RuleTables,
+}
+
+/// The MAC address leaf `leaf` serves on its port `slot` (deterministic, so
+/// benchmark deltas can address existing and fresh MACs without randomness).
+pub fn fanout_mac(leaf: usize, slot: usize) -> u64 {
+    0x10_0000 + ((leaf as u64) << 12) + slot as u64
+}
+
+/// Builds the delta fan-out topology.
+pub fn delta_fanout(leaves: usize, macs_per_leaf: usize) -> DeltaFanout {
+    use crate::delta::{RuleTables, SwitchModel};
+
+    let mut net = Network::new();
+    let mut tables = RuleTables::new();
+
+    let mut root_table = MacTable::new(leaves);
+    let mut leaf_tables = Vec::new();
+    for leaf in 0..leaves {
+        let mut table = MacTable::new(macs_per_leaf);
+        for slot in 0..macs_per_leaf {
+            let mac = fanout_mac(leaf, slot);
+            root_table.add(mac, None, leaf);
+            table.add(mac, None, slot);
+        }
+        leaf_tables.push(table);
+    }
+
+    let root = net.add_element(switch_egress("root", &root_table));
+    tables.register_switch(root, "root", root_table, SwitchModel::Egress);
+
+    let mut leaf_ids = Vec::new();
+    for (leaf, table) in leaf_tables.into_iter().enumerate() {
+        let name = format!("leaf{leaf}");
+        let id = net.add_element(switch_egress(&name, &table));
+        net.add_link(root, leaf, id, 0);
+        tables.register_switch(id, &name, table, SwitchModel::Egress);
+        leaf_ids.push(id);
+    }
+
+    let access = net.add_element(wire("access"));
+    net.add_link(access, 0, root, 0);
+
+    DeltaFanout {
+        network: net,
+        access,
+        root,
+        leaves: leaf_ids,
+        tables,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +563,19 @@ mod tests {
     use symnet_core::verify::Tristate;
     use symnet_sefl::fields::{ip_length, tcp_payload};
     use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
+
+    #[test]
+    fn delta_fanout_paths_partition_by_leaf() {
+        let fanout = delta_fanout(3, 2);
+        let engine = SymNet::new(fanout.network);
+        let report = engine.inject(fanout.access, 0, &symbolic_tcp_packet());
+        // One delivered path per (leaf, mac) pair.
+        assert_eq!(report.delivered().count(), 6);
+        for &leaf in &fanout.leaves {
+            let at_leaf: usize = (0..2).map(|p| report.delivered_at(leaf, p).count()).sum();
+            assert_eq!(at_leaf, 2);
+        }
+    }
 
     #[test]
     fn tunnel_chain_preserves_packet_contents() {

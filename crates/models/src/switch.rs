@@ -54,6 +54,34 @@ impl MacTable {
         self
     }
 
+    /// Learns an address: moves an existing `(mac, vlan)` entry to `port`, or
+    /// adds a fresh entry — the MAC-learning delta of the resident service.
+    /// Returns true if the table changed.
+    pub fn learn(&mut self, mac: u64, vlan: Option<u64>, port: usize) -> bool {
+        assert!(port < self.port_count, "port {port} out of range");
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.mac == mac && e.vlan == vlan)
+        {
+            if entry.port == port {
+                return false;
+            }
+            entry.port = port;
+        } else {
+            self.entries.push(MacTableEntry { mac, vlan, port });
+        }
+        true
+    }
+
+    /// Ages an address out of the table — the MAC-aging delta of the
+    /// resident service. Returns true if an entry was removed.
+    pub fn remove(&mut self, mac: u64, vlan: Option<u64>) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| !(e.mac == mac && e.vlan == vlan));
+        self.entries.len() != before
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -91,6 +91,14 @@ pub enum Instruction {
     Block(Vec<Instruction>),
     /// `NoOp` — does nothing.
     NoOp,
+    /// `Abort(msg)` — a testing/fuzzing poison pill: the interpreter panics
+    /// when it reaches this instruction. Unlike [`Instruction::Fail`], which
+    /// terminates one execution *path*, `Abort` simulates a defect in a model
+    /// or in the engine itself (the kind of panic the executor must survive
+    /// without deadlocking its worker pool). Used by the engine's
+    /// panic-safety tests and by differential fuzzing; never emitted by the
+    /// shipped models.
+    Abort(String),
 }
 
 impl Instruction {
@@ -167,6 +175,12 @@ impl Instruction {
     /// Fails the current path with a message.
     pub fn fail(msg: impl Into<String>) -> Instruction {
         Instruction::Fail(msg.into())
+    }
+
+    /// A poison pill that panics the interpreter when executed (see
+    /// [`Instruction::Abort`]).
+    pub fn abort(msg: impl Into<String>) -> Instruction {
+        Instruction::Abort(msg.into())
     }
 
     /// An `If` with both branches.
@@ -309,6 +323,7 @@ impl fmt::Display for Instruction {
                 write!(f, ")")
             }
             Instruction::NoOp => write!(f, "NoOp"),
+            Instruction::Abort(msg) => write!(f, "Abort(\"{msg}\")"),
         }
     }
 }

@@ -223,3 +223,117 @@ fn max_paths_cap_is_exact_under_work_stealing() {
         );
     }
 }
+
+#[test]
+fn service_delta_stream_is_thread_invariant() {
+    // Resident-service mode: the same delta stream, replayed at 1, 2 and 8
+    // workers, must yield byte-identical canonical reports after every
+    // re-verification. The incremental path merges kept results with
+    // re-explored subtrees, so this proves the merge + EmitKey sort erases
+    // scheduling order exactly like a from-scratch run.
+    use symnet_suite::core::report::canonical_report_json_string;
+    use symnet_suite::core::VerifyService;
+    use symnet_suite::models::delta::Delta;
+    use symnet_suite::models::scenarios::{delta_fanout, fanout_mac};
+
+    let run = |threads: usize| -> Vec<String> {
+        let fanout = delta_fanout(3, 2);
+        let mut tables = fanout.tables;
+        let mut service =
+            VerifyService::new(fanout.network, ExecConfig::default().with_threads(threads));
+        let q = service.add_query("fanout", fanout.access, 0, symbolic_tcp_packet());
+        let stream = [
+            Delta::MacLearn {
+                element: fanout.leaves[1],
+                mac: fanout_mac(9, 0),
+                vlan: None,
+                port: 0,
+            },
+            Delta::MacAge {
+                element: fanout.leaves[2],
+                mac: fanout_mac(2, 1),
+                vlan: None,
+            },
+            Delta::MacLearn {
+                element: fanout.root,
+                mac: fanout_mac(9, 0),
+                vlan: None,
+                port: 1,
+            },
+        ];
+        let mut reports = vec![canonical_report_json_string(
+            &service.verify(q).expect("initial verify").report,
+            service.network(),
+        )];
+        for delta in &stream {
+            tables
+                .apply(&mut service, delta)
+                .expect("delta applies")
+                .expect("delta changes its table");
+            reports.push(canonical_report_json_string(
+                &service.verify(q).expect("re-verify").report,
+                service.network(),
+            ));
+        }
+        reports
+    };
+
+    let baseline = run(1);
+    assert_eq!(baseline.len(), 4);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "service delta stream diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn service_max_paths_cap_is_exact_across_reverifications() {
+    // A capped standing query must report exactly `max_paths` paths after
+    // every re-verification: the kept set plus the re-explored set share one
+    // budget, so the merge can neither exceed nor undershoot the cap while
+    // enough paths exist.
+    use symnet_suite::core::VerifyService;
+    use symnet_suite::models::delta::Delta;
+    use symnet_suite::models::scenarios::{delta_fanout, fanout_mac};
+
+    for threads in [1usize, 2, 8] {
+        let fanout = delta_fanout(4, 3);
+        let mut tables = fanout.tables;
+        let config = ExecConfig {
+            max_paths: 8,
+            ..ExecConfig::default().with_threads(threads)
+        };
+        let mut service = VerifyService::new(fanout.network, config);
+        let q = service.add_query("capped", fanout.access, 0, symbolic_tcp_packet());
+        assert_eq!(service.verify(q).unwrap().report.path_count(), 8);
+        for (round, delta) in [
+            Delta::MacLearn {
+                element: fanout.leaves[0],
+                mac: fanout_mac(9, 1),
+                vlan: None,
+                port: 2,
+            },
+            Delta::MacAge {
+                element: fanout.leaves[3],
+                mac: fanout_mac(3, 0),
+                vlan: None,
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            tables
+                .apply(&mut service, delta)
+                .expect("delta applies")
+                .expect("delta changes its table");
+            assert_eq!(
+                service.verify(q).unwrap().report.path_count(),
+                8,
+                "cap must stay exact at {threads} threads, round {round}"
+            );
+        }
+    }
+}
