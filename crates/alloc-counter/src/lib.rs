@@ -1,0 +1,124 @@
+//! A counting [`GlobalAlloc`] wrapping the system allocator.
+//!
+//! The rest of the workspace forbids `unsafe`; this leaf crate carries the one
+//! unavoidable `unsafe impl` (the [`GlobalAlloc`] trait itself is unsafe) so
+//! allocation-regression tests and benchmarks can measure allocator traffic
+//! without relaxing that rule anywhere else. Install it with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator::new();
+//! ```
+//!
+//! and read [`snapshot`] before/after the code under measurement. Counters are
+//! process-global relaxed atomics: cheap enough to leave enabled, precise
+//! enough for "did this change double our allocation count" regression gates
+//! (they are *not* a profiler — allocations from other threads are counted
+//! too, so measure single-threaded or accept the noise).
+
+#![deny(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-global allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Calls to `alloc`/`realloc` (each realloc counts as one allocation).
+    pub allocations: u64,
+    /// Calls to `dealloc`.
+    pub deallocations: u64,
+    /// Total bytes requested by counted allocations.
+    pub bytes_allocated: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas from `earlier` to `self` (saturating, so a snapshot
+    /// pair taken out of order degrades to zero rather than wrapping).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+        }
+    }
+}
+
+/// Reads the current allocation counters. Zeros until a
+/// [`CountingAllocator`] is installed as the `#[global_allocator]`.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// The counting allocator. Forwards every call to [`System`] and bumps the
+/// global counters on the way through.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Creates the allocator (const, so it can initialise a static).
+    pub const fn new() -> Self {
+        CountingAllocator
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        CountingAllocator::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this crate's own test binary, so only
+    // the pure snapshot arithmetic is testable here; end-to-end counting is
+    // exercised by symnet-bench's `alloc_regression` test under the
+    // `count-allocs` feature.
+    #[test]
+    fn snapshot_deltas_saturate() {
+        let early = AllocSnapshot {
+            allocations: 10,
+            deallocations: 4,
+            bytes_allocated: 1000,
+        };
+        let late = AllocSnapshot {
+            allocations: 25,
+            deallocations: 9,
+            bytes_allocated: 1600,
+        };
+        let delta = late.since(&early);
+        assert_eq!(delta.allocations, 15);
+        assert_eq!(delta.deallocations, 5);
+        assert_eq!(delta.bytes_allocated, 600);
+        let backwards = early.since(&late);
+        assert_eq!(backwards, AllocSnapshot::default());
+    }
+}

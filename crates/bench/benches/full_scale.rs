@@ -1,0 +1,57 @@
+//! Paper-scale workloads as a criterion group.
+//!
+//! The paper's headline sizes — the Figure 8 switch at 480 000 learned MACs
+//! and the Table 2 core router at 188 500 FIB prefixes — are what the
+//! interning and small-value-storage layers were built for: at these sizes
+//! the naive representation allocates one boxed formula per table entry per
+//! path and spends its time in `memcpy`. This group benches exactly those
+//! workloads.
+//!
+//! By default the sizes are scaled down (~1/20th) so the group stays
+//! CI-friendly; set `SYMNET_FULL_SCALE=1` to bench the true paper sizes
+//! (minutes, not seconds — same code path, just more table entries). The
+//! benchmark ids do not encode the size, so snapshot comparisons only make
+//! sense within one mode; docs/BENCHMARKS.md records both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symnet_bench::{measure_router, measure_switch};
+use symnet_models::Fib;
+
+/// True when benching the paper-scale sizes (`SYMNET_FULL_SCALE=1`).
+fn full_scale() -> bool {
+    std::env::var("SYMNET_FULL_SCALE").is_ok_and(|v| v == "1")
+}
+
+fn bench(c: &mut Criterion) {
+    let full = full_scale();
+    // Few samples: even scaled down these are the most expensive benches in
+    // the suite, and the regressions the snapshot gate looks for are >10%.
+    let samples = if full { 2 } else { 5 };
+
+    // Figure 8 switch at paper scale: 480k learned MACs (basic DNFs there,
+    // as in the paper — the scalable ingress/egress models are the subject).
+    let switch_entries = if full { 480_000 } else { 24_000 };
+    let mut group = c.benchmark_group("full_scale");
+    group.sample_size(samples);
+    for model in ["ingress", "egress"] {
+        group.bench_with_input(
+            BenchmarkId::new("fig8_switch", model),
+            &switch_entries,
+            |b, &entries| b.iter(|| measure_switch(model, entries, 20).paths),
+        );
+    }
+
+    // Table 2 core router at paper scale: 188.5k-prefix FIB, longest-prefix
+    // match encoded as prefix-match plus negated longer matches.
+    let router_prefixes = if full { 188_500 } else { 9_400 };
+    let fib = Fib::synthetic(router_prefixes, 8);
+    group.bench_with_input(
+        BenchmarkId::new("table2_router", "egress"),
+        &router_prefixes,
+        |b, &prefixes| b.iter(|| measure_router("egress", &fib, prefixes).paths),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

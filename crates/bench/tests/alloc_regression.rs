@@ -1,0 +1,71 @@
+//! Allocation-regression gate (enabled with `--features count-allocs`).
+//!
+//! Runs the §8.5 outbound department verification — the workload the interner
+//! and small-value-storage work (hash-consed formulas, inline interval sets,
+//! inline cube literals) was sized against — under the counting global
+//! allocator and fails if allocator traffic regresses past a generous
+//! ceiling. The ceiling is ~2× the count measured when the gate was
+//! introduced (see docs/BENCHMARKS.md for the measured before/after numbers),
+//! so it only trips on wholesale regressions (an accidental `clone()` in the
+//! hot loop, a lost inline representation), not on noise.
+//!
+//! Without the feature the binary compiles to nothing; CI runs it as
+//! `cargo test -p symnet-bench --features count-allocs --test alloc_regression --release`.
+
+#![cfg(feature = "count-allocs")]
+
+use symnet_core::engine::{ExecConfig, SymNet};
+use symnet_models::scenarios::{department, DepartmentConfig};
+use symnet_models::tcp_options::symbolic_options_metadata;
+use symnet_sefl::packet::symbolic_tcp_packet;
+use symnet_sefl::Instruction;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator::new();
+
+/// Allocations allowed per measured run (~2× the count at introduction).
+const MAX_ALLOCATIONS_PER_RUN: u64 = 8_000; // measured 3 604 at introduction
+
+#[test]
+fn sec85_outbound_stays_within_allocation_budget() {
+    let (net, topo) = department(DepartmentConfig {
+        access_switches: 6,
+        mac_entries: 600,
+        routes: 50,
+    });
+    // Single worker: the counters are process-global, so keep the run
+    // deterministic and free of scheduler noise.
+    let engine = SymNet::with_config(
+        net,
+        ExecConfig {
+            max_hops: 32,
+            ..ExecConfig::default().with_threads(1)
+        },
+    );
+    let outbound = Instruction::block(vec![symbolic_tcp_packet(), symbolic_options_metadata()]);
+
+    // Warm-up run: fills the process-wide interner and content memos, so the
+    // measured run sees the steady state the benchmarks measure.
+    let warm = engine.inject(topo.office_switch, 0, &outbound).path_count();
+    assert!(warm > 0, "scenario produced no paths");
+
+    let before = alloc_counter::snapshot();
+    let paths = engine.inject(topo.office_switch, 0, &outbound).path_count();
+    let delta = alloc_counter::snapshot().since(&before);
+    assert_eq!(paths, warm, "re-injection must reproduce the run");
+
+    eprintln!(
+        "sec85 outbound: {} allocations, {} deallocations, {} bytes",
+        delta.allocations, delta.deallocations, delta.bytes_allocated
+    );
+    assert!(
+        delta.allocations > 0,
+        "counting allocator is not installed (delta: {delta:?})"
+    );
+    assert!(
+        delta.allocations <= MAX_ALLOCATIONS_PER_RUN,
+        "sec85 outbound run allocated {} times (budget {MAX_ALLOCATIONS_PER_RUN}); \
+         allocator traffic regressed — see docs/BENCHMARKS.md",
+        delta.allocations
+    );
+}

@@ -11,12 +11,13 @@
 //! default, driven by a **work-stealing scheduler** (`StealScheduler`):
 //! each of the [`ExecConfig::threads`] workers owns a bounded LIFO deque it
 //! pushes forked children onto and pops from without contending with anyone;
-//! only when its deque runs dry does it steal the *oldest* path from a
-//! victim's deque (FIFO end — the shallowest fork, whose subtree is largest)
-//! or drain the shared overflow injector that absorbs local-deque overflow
-//! and the injection roots. Each worker owns a thread-local [`Solver`] whose
-//! statistics are merged at the end, and per-worker [`SchedStats`] count
-//! local hits, steals and overflow pushes.
+//! only when its deque runs dry does it steal a batch of the *oldest* paths —
+//! up to half the victim's deque, from the FIFO end, where the shallowest
+//! forks with the largest subtrees sit — or drain the shared overflow
+//! injector that absorbs local-deque overflow and the injection roots. Each
+//! worker owns a thread-local [`Solver`] whose statistics are merged at the
+//! end, and per-worker [`SchedStats`] count local hits, steals, batch-stolen
+//! paths and overflow pushes.
 //!
 //! Reports stay deterministic no matter how paths migrate between workers —
 //! every emitted path carries its fork lineage (the breadth-first position of
@@ -176,8 +177,13 @@ impl PathReport {
 pub struct SchedStats {
     /// Paths a worker popped from its own deque (the contention-free case).
     pub local_hits: u64,
-    /// Paths taken from another worker's deque (FIFO end).
+    /// Steal operations: each takes a batch from the FIFO end of a victim's
+    /// deque and immediately runs the batch's first path.
     pub steals: u64,
+    /// Extra paths carried along by batch steals (beyond the one executed
+    /// immediately); they are re-queued on the thief's own deque, so one steal
+    /// keeps a previously starved worker busy for several steps.
+    pub batch_stolen: u64,
     /// Forked children that did not fit the bounded local deque and spilled
     /// to the shared overflow injector.
     pub overflow_pushes: u64,
@@ -188,6 +194,7 @@ impl SchedStats {
     pub fn merge(&mut self, other: &SchedStats) {
         self.local_hits += other.local_hits;
         self.steals += other.steals;
+        self.batch_stolen += other.batch_stolen;
         self.overflow_pushes += other.overflow_pushes;
     }
 }
@@ -626,17 +633,40 @@ impl StealScheduler {
                 self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
                 return Some(p);
             }
-            // 3. Steal the oldest path of a victim, scanning peers round-robin
-            // from our right neighbour so thieves spread instead of mobbing
-            // worker 0.
+            // 3. Steal from a victim, scanning peers round-robin from our
+            // right neighbour so thieves spread instead of mobbing worker 0.
+            // Steal-half batching: take up to half the victim's deque from the
+            // FIFO end (the oldest, shallowest paths — the largest subtrees) in
+            // one lock acquisition, run the first stolen path now and park the
+            // rest on our own (empty — we only steal when dry) deque. One
+            // steal thus feeds a starved worker for several steps instead of
+            // sending it back to the victim's lock after every path.
             let n = self.locals.len();
             for offset in 1..n {
                 let victim = (me + offset) % n;
-                if let Some(p) = relock(&self.locals[victim]).pop_front() {
-                    self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
-                    stats.steals += 1;
-                    return Some(p);
+                let batch: Vec<PendingPath> = {
+                    let mut deque = relock(&self.locals[victim]);
+                    let take = deque.len().div_ceil(2).min(LOCAL_DEQUE_CAP);
+                    deque.drain(..take).collect()
+                };
+                if batch.is_empty() {
+                    continue;
                 }
+                stats.steals += 1;
+                stats.batch_stolen += (batch.len() - 1) as u64;
+                // Only the path we execute leaves the queues; the rest stay
+                // queued (now on our deque), so `queued` drops by exactly one.
+                self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
+                let mut batch = batch.into_iter();
+                let first = batch.next();
+                let rest: Vec<PendingPath> = batch.collect();
+                if !rest.is_empty() {
+                    relock(&self.locals[me]).extend(rest);
+                    // The parked paths became stealable again from a new
+                    // location; let sleepers re-scan.
+                    self.wake_all();
+                }
+                return first;
             }
             // 4. Nothing anywhere: the run is over iff nothing is in flight
             // (in-flight steps may still publish children). Otherwise sleep

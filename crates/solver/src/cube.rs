@@ -9,6 +9,7 @@
 use crate::formula::{CmpOp, Formula};
 use crate::interval::IntervalSet;
 use crate::term::{SymVar, Term};
+use smallvec::SmallVec;
 use std::collections::BTreeMap;
 
 /// A single literal of a cube.
@@ -39,8 +40,10 @@ pub enum Literal {
 pub struct Cube {
     /// Per-variable domain restrictions, merged by intersection.
     pub domains: BTreeMap<SymVar, IntervalSet>,
-    /// Cross-variable comparison literals.
-    pub cross: Vec<Literal>,
+    /// Cross-variable comparison literals. Almost every cube carries zero or
+    /// one of these (they only arise from genuine variable-to-variable
+    /// comparisons, never from table lookups), so up to two are stored inline.
+    pub cross: SmallVec<Literal, 2>,
     /// Set to true if a trivially-false literal was added.
     contradictory: bool,
 }
@@ -211,7 +214,7 @@ fn build(formula: &Formula, max_cubes: usize) -> Result<Vec<Cube>, CubeOverflow>
         Formula::Not(inner) => build(&push_not(inner), max_cubes),
         Formula::And(parts) => {
             let mut acc: Vec<Cube> = vec![Cube::default()];
-            for part in parts {
+            for part in parts.iter() {
                 let part_cubes = build(part, max_cubes)?;
                 if part_cubes.is_empty() {
                     return Ok(vec![]);
@@ -249,7 +252,7 @@ fn build(formula: &Formula, max_cubes: usize) -> Result<Vec<Cube>, CubeOverflow>
             let mut grouped: BTreeMap<SymVar, Vec<(i128, i128)>> = BTreeMap::new();
             let mut const_true = false;
             let mut rest: Vec<&Formula> = Vec::new();
-            for part in parts {
+            for part in parts.iter() {
                 let pv = part.variables();
                 match pv.len() {
                     0 => {
@@ -376,7 +379,7 @@ pub fn eval_single_var(formula: &Formula, var: SymVar) -> IntervalSet {
             // an incremental fold of unions would be quadratic in the number of
             // disjuncts, which matters for 100k+-entry MAC-table constraints.
             let mut ranges = Vec::with_capacity(parts.len());
-            for p in parts {
+            for p in parts.iter() {
                 ranges.extend(eval_single_var(p, var).iter_ranges());
             }
             IntervalSet::from_ranges(ranges)
@@ -421,7 +424,7 @@ fn push_not(inner: &Formula) -> Formula {
             lhs: *lhs,
             rhs: *rhs,
         },
-        Formula::PrefixMatch { .. } => Formula::Not(Box::new(inner.clone())),
+        Formula::PrefixMatch { .. } => Formula::Not(std::sync::Arc::new(inner.clone())),
         Formula::And(parts) => Formula::or(parts.iter().cloned().map(Formula::not).collect()),
         Formula::Or(parts) => Formula::and(parts.iter().cloned().map(Formula::not).collect()),
         Formula::Not(f) => (**f).clone(),
@@ -500,6 +503,28 @@ mod tests {
         assert_eq!(cubes.len(), 1);
         assert_eq!(cubes[0].cross.len(), 1);
         assert!(cubes[0].domains[&x].contains(100));
+    }
+
+    #[test]
+    fn full_scale_mac_or_is_one_domain_literal() {
+        // The module-doc claim at the paper's headline size: a disjunction of
+        // 480,000 MAC equalities becomes one `Literal::Domain` with 480,000
+        // points, not 480,000 cubes. Each MAC appears twice (learned, then
+        // re-learned) so `Formula::or`'s dedup also runs at this scale.
+        let x = v(0, 48);
+        let macs: Vec<Formula> = (0..960_000u64)
+            .map(|m| Formula::eq_const(x, (m % 480_000) * 2))
+            .collect();
+        let f = Formula::or(macs);
+        match &f {
+            Formula::Or(parts) => assert_eq!(parts.len(), 480_000),
+            other => panic!("expected Or, got {other:?}"),
+        }
+        let cubes = to_cubes(&f, 4).unwrap();
+        assert_eq!(cubes.len(), 1);
+        assert!(cubes[0].cross.is_empty());
+        assert_eq!(cubes[0].domains.len(), 1);
+        assert_eq!(cubes[0].domains[&x].cardinality(), 480_000);
     }
 
     #[test]

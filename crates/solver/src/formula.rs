@@ -7,8 +7,10 @@
 
 use crate::term::{SymVar, Term, VarId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Comparison operators supported by SEFL conditions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,12 +107,49 @@ pub enum Formula {
         /// Number of leading bits that must match.
         prefix_len: u8,
     },
-    /// Conjunction.
-    And(Vec<Formula>),
-    /// Disjunction.
-    Or(Vec<Formula>),
+    /// Conjunction. Children are `Arc`-shared so cloning an `And` (which the
+    /// engine does every time a path condition is materialized or memoized)
+    /// is a reference-count bump, not a deep copy.
+    And(Arc<Vec<Formula>>),
+    /// Disjunction. `Arc`-shared for the same reason — the `--full` paper
+    /// workloads build disjunctions with hundreds of thousands of children.
+    Or(Arc<Vec<Formula>>),
     /// Negation.
-    Not(Box<Formula>),
+    Not(Arc<Formula>),
+}
+
+/// Appends `f` to `out` unless a structurally identical child is already
+/// present. Small lists use a plain linear scan (no allocation); larger ones
+/// lazily build a hash index over the accumulated children.
+fn push_unique(out: &mut Vec<Formula>, index: &mut Option<HashMap<u64, Vec<u32>>>, f: Formula) {
+    // Threshold below which a linear equality scan beats building an index.
+    const LINEAR_MAX: usize = 8;
+    fn hash_of(f: &Formula) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        f.hash(&mut h);
+        h.finish()
+    }
+    if index.is_none() {
+        if out.len() < LINEAR_MAX {
+            if !out.contains(&f) {
+                out.push(f);
+            }
+            return;
+        }
+        // Crossing the threshold: index everything accumulated so far.
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::with_capacity(out.len() * 2);
+        for (i, existing) in out.iter().enumerate() {
+            map.entry(hash_of(existing)).or_default().push(i as u32);
+        }
+        *index = Some(map);
+    }
+    let map = index.as_mut().expect("index built above");
+    let bucket = map.entry(hash_of(&f)).or_default();
+    if bucket.iter().any(|&i| out[i as usize] == f) {
+        return;
+    }
+    bucket.push(out.len() as u32);
+    out.push(f);
 }
 
 impl Formula {
@@ -153,39 +192,65 @@ impl Formula {
         }
     }
 
-    /// Conjunction with flattening and constant folding.
+    /// Conjunction with flattening, constant folding, and deduplication of
+    /// structurally identical children (first occurrence wins).
     pub fn and(parts: Vec<Formula>) -> Formula {
         let mut out = Vec::with_capacity(parts.len());
+        let mut index = None;
         for p in parts {
             match p {
                 Formula::True => {}
                 Formula::False => return Formula::False,
-                Formula::And(inner) => out.extend(inner),
-                other => out.push(other),
+                Formula::And(inner) => match Arc::try_unwrap(inner) {
+                    Ok(inner) => {
+                        for q in inner {
+                            push_unique(&mut out, &mut index, q);
+                        }
+                    }
+                    Err(shared) => {
+                        for q in shared.iter() {
+                            push_unique(&mut out, &mut index, q.clone());
+                        }
+                    }
+                },
+                other => push_unique(&mut out, &mut index, other),
             }
         }
         match out.len() {
             0 => Formula::True,
             1 => out.pop().unwrap(),
-            _ => Formula::And(out),
+            _ => Formula::And(Arc::new(out)),
         }
     }
 
-    /// Disjunction with flattening and constant folding.
+    /// Disjunction with flattening, constant folding, and deduplication of
+    /// structurally identical children (first occurrence wins).
     pub fn or(parts: Vec<Formula>) -> Formula {
         let mut out = Vec::with_capacity(parts.len());
+        let mut index = None;
         for p in parts {
             match p {
                 Formula::False => {}
                 Formula::True => return Formula::True,
-                Formula::Or(inner) => out.extend(inner),
-                other => out.push(other),
+                Formula::Or(inner) => match Arc::try_unwrap(inner) {
+                    Ok(inner) => {
+                        for q in inner {
+                            push_unique(&mut out, &mut index, q);
+                        }
+                    }
+                    Err(shared) => {
+                        for q in shared.iter() {
+                            push_unique(&mut out, &mut index, q.clone());
+                        }
+                    }
+                },
+                other => push_unique(&mut out, &mut index, other),
             }
         }
         match out.len() {
             0 => Formula::False,
             1 => out.pop().unwrap(),
-            _ => Formula::Or(out),
+            _ => Formula::Or(Arc::new(out)),
         }
     }
 
@@ -197,13 +262,13 @@ impl Formula {
         match f {
             Formula::True => Formula::False,
             Formula::False => Formula::True,
-            Formula::Not(inner) => *inner,
+            Formula::Not(inner) => Arc::try_unwrap(inner).unwrap_or_else(|a| (*a).clone()),
             Formula::Cmp { op, lhs, rhs } => Formula::Cmp {
                 op: op.negate(),
                 lhs,
                 rhs,
             },
-            other => Formula::Not(Box::new(other)),
+            other => Formula::Not(Arc::new(other)),
         }
     }
 
@@ -229,7 +294,7 @@ impl Formula {
                 out.insert(*var);
             }
             Formula::And(parts) | Formula::Or(parts) => {
-                for p in parts {
+                for p in parts.iter() {
                     p.collect_vars(out);
                 }
             }
@@ -271,7 +336,7 @@ impl Formula {
             }
             Formula::And(parts) => {
                 let mut all = true;
-                for p in parts {
+                for p in parts.iter() {
                     match p.eval(lookup) {
                         Some(true) => {}
                         Some(false) => all = false,
@@ -282,7 +347,7 @@ impl Formula {
             }
             Formula::Or(parts) => {
                 let mut any = false;
-                for p in parts {
+                for p in parts.iter() {
                     match p.eval(lookup) {
                         Some(true) => any = true,
                         Some(false) => {}
@@ -378,7 +443,30 @@ mod tests {
         let b = Formula::eq_const(v(1, 8), 2);
         let c = Formula::eq_const(v(2, 8), 3);
         let nested = Formula::and(vec![a.clone(), Formula::and(vec![b.clone(), c.clone()])]);
-        assert_eq!(nested, Formula::And(vec![a, b, c]));
+        assert_eq!(nested, Formula::And(Arc::new(vec![a, b, c])));
+    }
+
+    #[test]
+    fn and_or_dedup_identical_children() {
+        let a = Formula::eq_const(v(0, 8), 1);
+        let b = Formula::eq_const(v(1, 8), 2);
+        // Duplicates collapse, first occurrence order is preserved.
+        assert_eq!(
+            Formula::and(vec![a.clone(), b.clone(), a.clone()]),
+            Formula::And(Arc::new(vec![a.clone(), b.clone()]))
+        );
+        // A fully duplicated list collapses to the single child.
+        assert_eq!(Formula::or(vec![a.clone(), a.clone(), a.clone()]), a);
+        // Dedup also applies across flattened nesting and past the linear
+        // threshold (more than 8 accumulated children).
+        let many: Vec<Formula> = (0..20)
+            .map(|i| Formula::eq_const(v(i % 10, 8), i % 10))
+            .collect();
+        let deduped = Formula::or(many);
+        match &deduped {
+            Formula::Or(parts) => assert_eq!(parts.len(), 10),
+            other => panic!("expected Or, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Hash-consed interning of solver terms.
+//!
+//! The solver's incremental interface keys its memo tables on *what* a prefix
+//! says, not on *which node* says it. This module provides the identity layer
+//! that makes such keys sound and cheap:
+//!
+//! * [`Interned<T>`] — an `Arc`-shared, hash-consed value with a precomputed
+//!   structural hash and a process-unique `u64` id. Two `Interned` handles
+//!   obtained from the same interner are equal exactly when their values are
+//!   structurally equal, and the common case is decided by pointer comparison.
+//! * [`Interner<T>`] — a sharded, mutex-guarded hash-cons table. Process-wide
+//!   instances for [`Formula`] and [`IntervalSet`] are exposed through
+//!   [`formulas`], [`intervals`], [`intern_formula`] and [`canonical_interval`].
+//! * [`content_id`] — interning of `(parent content, conjunct)` pairs, giving
+//!   every distinct path-condition *content* a process-unique id. Two
+//!   [`PathCond`](crate::path::PathCond)s built independently from the same
+//!   conjunct sequence map to the same content id, which is what lets a
+//!   re-injected scenario hit the cross-run solve memos instead of re-solving
+//!   every prefix (see [`crate::Solver::check_path`]).
+//!
+//! # Lifecycle and eviction
+//!
+//! Interners hold *strong* references to their canonical values: an interned
+//! formula stays resident after the last path referencing it dies, so the next
+//! injection of the same scenario re-derives identical ids and hits the memos.
+//! To bound memory, every shard clears itself once it reaches capacity
+//! (mirroring the solver's own memo eviction). Ids are never reused — after a
+//! clear, re-interning a value yields a *fresh* id, so stale memo entries keyed
+//! on evicted ids can never be confused with new content; they simply stop
+//! matching and age out with their own table's eviction.
+//!
+//! `Arc` rather than `Rc` because interned values cross threads: the engine's
+//! work-stealing workers push and steal paths (whose nodes hold `Interned<
+//! Formula>`) freely, and the global memo tables are shared by every worker.
+
+use crate::formula::Formula;
+use crate::interval::IntervalSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Process-wide id allocator shared by every interner (formulas, interval
+/// sets, content pairs), so any two interned objects — of any type — have
+/// distinct ids. Starts at 1; 0 is reserved for [`EMPTY_CONTENT_ID`].
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Content id of the empty path condition (no conjuncts).
+pub const EMPTY_CONTENT_ID: u64 = 0;
+
+/// Number of independently locked shards per interner.
+const SHARD_COUNT: usize = 16;
+/// Distinct values a shard holds before it clears itself.
+const SHARD_CAP: usize = 8192;
+/// Distinct `(parent, formula)` pairs the content-id table holds before
+/// clearing.
+const CONTENT_CAP: usize = 1 << 17;
+
+struct Entry<T> {
+    hash: u64,
+    id: u64,
+    value: T,
+}
+
+/// A hash-consed, `Arc`-shared value with precomputed hash and unique id.
+///
+/// Obtained from an [`Interner`]; see the module docs for the equality and
+/// lifecycle guarantees.
+pub struct Interned<T>(Arc<Entry<T>>);
+
+impl<T> Interned<T> {
+    /// The process-unique id of this canonical value.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// The precomputed structural hash of the value.
+    pub fn precomputed_hash(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// True when both handles point at the same canonical allocation.
+    pub fn ptr_eq(a: &Interned<T>, b: &Interned<T>) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl<T> Clone for Interned<T> {
+    fn clone(&self) -> Self {
+        Interned(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Deref for Interned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0.value
+    }
+}
+
+impl<T: PartialEq> PartialEq for Interned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality decides the common case; the structural fallback
+        // covers handles that straddle a shard eviction (same value interned
+        // twice into distinct canonical allocations).
+        Interned::ptr_eq(self, other)
+            || (self.0.hash == other.0.hash && self.0.value == other.0.value)
+    }
+}
+
+impl<T: Eq> Eq for Interned<T> {}
+
+impl<T: Hash> Hash for Interned<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Interned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.value.fmt(f)
+    }
+}
+
+impl<T: std::fmt::Display> std::fmt::Display for Interned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.value.fmt(f)
+    }
+}
+
+struct Shard<T> {
+    /// Hash → canonical entries with that hash (almost always one).
+    entries: HashMap<u64, Vec<Interned<T>>>,
+    /// Total canonical values across all buckets.
+    live: usize,
+}
+
+/// A sharded hash-cons table. See the module docs.
+pub struct Interner<T> {
+    shards: Vec<Mutex<Shard<T>>>,
+}
+
+fn structural_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+impl<T: Hash + Eq> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner {
+            shards: (0..SHARD_COUNT)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        live: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns the canonical [`Interned`] handle for `value`, creating it if
+    /// this value has not been seen (since the last shard eviction).
+    pub fn intern(&self, value: T) -> Interned<T> {
+        let hash = structural_hash(&value);
+        let shard = &self.shards[(hash as usize) % SHARD_COUNT];
+        let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(bucket) = guard.entries.get(&hash) {
+            if let Some(found) = bucket.iter().find(|e| e.0.value == value) {
+                return found.clone();
+            }
+        }
+        if guard.live >= SHARD_CAP {
+            guard.entries.clear();
+            guard.live = 0;
+        }
+        let interned = Interned(Arc::new(Entry {
+            hash,
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+        }));
+        guard
+            .entries
+            .entry(hash)
+            .or_default()
+            .push(interned.clone());
+        guard.live += 1;
+        interned
+    }
+
+    /// Number of canonical values currently resident (for tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).live)
+            .sum()
+    }
+
+    /// True when no value is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Hash + Eq> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+/// The process-wide [`Formula`] interner.
+pub fn formulas() -> &'static Interner<Formula> {
+    static FORMULAS: OnceLock<Interner<Formula>> = OnceLock::new();
+    FORMULAS.get_or_init(Interner::new)
+}
+
+/// The process-wide [`IntervalSet`] interner.
+pub fn intervals() -> &'static Interner<IntervalSet> {
+    static INTERVALS: OnceLock<Interner<IntervalSet>> = OnceLock::new();
+    INTERVALS.get_or_init(Interner::new)
+}
+
+/// Interns a formula in the process-wide table.
+pub fn intern_formula(formula: Formula) -> Interned<Formula> {
+    formulas().intern(formula)
+}
+
+/// Returns the canonical copy of an interval set, so structurally equal big
+/// sets share one `Arc`-backed allocation (making their equality O(1) and
+/// their clones reference bumps). Sets small enough to live inline (≤ 2
+/// ranges) are returned unchanged — interning them would only add lookup cost.
+pub fn canonical_interval(set: IntervalSet) -> IntervalSet {
+    if set.interval_count() <= 2 {
+        return set;
+    }
+    let interned = intervals().intern(set);
+    interned.deref().clone()
+}
+
+/// Interns the `(parent content, formula)` pair and returns the content id of
+/// the extended prefix. Pass [`EMPTY_CONTENT_ID`] as `parent` for the first
+/// conjunct; `formula` is the id of an [`Interned<Formula>`].
+pub fn content_id(parent: u64, formula: u64) -> u64 {
+    static CONTENT: OnceLock<Mutex<HashMap<(u64, u64), u64>>> = OnceLock::new();
+    let map = CONTENT.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = map.lock().unwrap_or_else(PoisonError::into_inner);
+    if guard.len() >= CONTENT_CAP && !guard.contains_key(&(parent, formula)) {
+        guard.clear();
+    }
+    *guard
+        .entry((parent, formula))
+        .or_insert_with(|| NEXT_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::SymVar;
+
+    fn v(id: u64) -> SymVar {
+        SymVar::new(id, 16)
+    }
+
+    #[test]
+    fn interning_the_same_formula_yields_the_same_id_and_pointer() {
+        // Use constants unlikely to collide with other tests sharing the
+        // process-wide interner.
+        let f = Formula::eq_const(v(70_001), 12_345);
+        let a = intern_formula(f.clone());
+        let b = intern_formula(f.clone());
+        assert!(Interned::ptr_eq(&a, &b));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+        assert_eq!(*a, f);
+        let other = intern_formula(Formula::eq_const(v(70_001), 12_346));
+        assert!(!Interned::ptr_eq(&a, &other));
+        assert_ne!(a.id(), other.id());
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn content_ids_depend_only_on_content() {
+        let f1 = intern_formula(Formula::eq_const(v(70_002), 7));
+        let f2 = intern_formula(Formula::ne_const(v(70_003), 8));
+        let a = content_id(EMPTY_CONTENT_ID, f1.id());
+        let b = content_id(a, f2.id());
+        // Rebuilding the same chain reproduces the same ids.
+        assert_eq!(content_id(EMPTY_CONTENT_ID, f1.id()), a);
+        assert_eq!(content_id(a, f2.id()), b);
+        // Different chains get different ids.
+        assert_ne!(content_id(EMPTY_CONTENT_ID, f2.id()), a);
+        assert_ne!(a, EMPTY_CONTENT_ID);
+        assert_ne!(b, a);
+    }
+
+    #[test]
+    fn canonical_interval_shares_big_storage_and_skips_small() {
+        let big = IntervalSet::from_ranges((0..40i128).map(|i| (3 * i + 900_000, 3 * i + 900_000)));
+        let a = canonical_interval(big.clone());
+        let b = canonical_interval(big.clone());
+        assert!(a.ptr_eq(&b), "canonical big sets share one allocation");
+        assert_eq!(a, big);
+        let small = IntervalSet::range(0, 5);
+        let s = canonical_interval(small.clone());
+        assert_eq!(s, small);
+        assert!(!s.ptr_eq(&small), "small sets are inline, never Arc-backed");
+    }
+
+    #[test]
+    fn interned_equality_survives_distinct_allocations() {
+        // Simulate the post-eviction case: equal values behind different Arcs.
+        let local: Interner<Formula> = Interner::new();
+        let a = local.intern(Formula::eq_const(v(70_004), 1));
+        let other: Interner<Formula> = Interner::new();
+        let b = other.intern(Formula::eq_const(v(70_004), 1));
+        assert!(!Interned::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+}

@@ -8,21 +8,86 @@
 //! formulas become intersection / union / complement of the sets. This is what
 //! lets the solver handle the enormous same-variable disjunctions produced by
 //! switch MAC tables and router FIBs without any case splitting.
+//!
+//! # Memory layout
+//!
+//! The overwhelming majority of sets on the solver hot path come from
+//! [`cmp_to_set`](crate::cube)-style lowering: a single point, a half-line, or
+//! the two ranges of a `!=` — never more than two intervals. Those are stored
+//! inline (no heap allocation at all). Sets with more than two intervals — the
+//! 480k-point MAC disjunctions and 188.5k-prefix FIBs of the paper's `--full`
+//! workloads — are stored behind an `Arc`, so cloning a cube that carries one
+//! is a reference-count bump instead of a multi-megabyte `memcpy`.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Deserializer, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A set of integers represented as sorted, disjoint, inclusive intervals.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+///
+/// Up to two intervals are stored inline; larger sets share an `Arc`-backed
+/// vector so clones are O(1). Equality, hashing and serialization all operate
+/// on the logical range list, so the two representations are interchangeable
+/// (a canonical set with ≤ 2 ranges is always stored inline).
+#[derive(Clone)]
 pub struct IntervalSet {
-    /// Sorted, pairwise-disjoint, non-adjacent inclusive intervals.
-    ranges: Vec<(i128, i128)>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// `len` live ranges in `ranges[..len]` (0, 1 or 2).
+    Small {
+        /// Number of live inline ranges.
+        len: u8,
+        /// Inline storage; slots at `len..` are `(0, 0)` padding.
+        ranges: [(i128, i128); 2],
+    },
+    /// More than two ranges, shared so that clones are reference bumps.
+    Big(Arc<Vec<(i128, i128)>>),
 }
 
 impl IntervalSet {
+    /// Wraps a **sorted, disjoint, non-adjacent** range list in the canonical
+    /// representation: inline when it fits, `Arc`-shared otherwise.
+    fn from_sorted(ranges: Vec<(i128, i128)>) -> Self {
+        match ranges.len() {
+            0 => IntervalSet {
+                repr: Repr::Small {
+                    len: 0,
+                    ranges: [(0, 0); 2],
+                },
+            },
+            1 => IntervalSet {
+                repr: Repr::Small {
+                    len: 1,
+                    ranges: [ranges[0], (0, 0)],
+                },
+            },
+            2 => IntervalSet {
+                repr: Repr::Small {
+                    len: 2,
+                    ranges: [ranges[0], ranges[1]],
+                },
+            },
+            _ => IntervalSet {
+                repr: Repr::Big(Arc::new(ranges)),
+            },
+        }
+    }
+
+    /// The sorted, disjoint range list as a slice (the logical value).
+    pub fn as_slice(&self) -> &[(i128, i128)] {
+        match &self.repr {
+            Repr::Small { len, ranges } => &ranges[..*len as usize],
+            Repr::Big(v) => v,
+        }
+    }
+
     /// The empty set.
     pub fn empty() -> Self {
-        IntervalSet { ranges: Vec::new() }
+        IntervalSet::from_sorted(Vec::new())
     }
 
     /// The set containing every integer in `lo..=hi`. Returns the empty set if
@@ -31,9 +96,7 @@ impl IntervalSet {
         if lo > hi {
             IntervalSet::empty()
         } else {
-            IntervalSet {
-                ranges: vec![(lo, hi)],
-            }
+            IntervalSet::from_sorted(vec![(lo, hi)])
         }
     }
 
@@ -57,22 +120,22 @@ impl IntervalSet {
                 _ => out.push((lo, hi)),
             }
         }
-        IntervalSet { ranges: out }
+        IntervalSet::from_sorted(out)
     }
 
     /// Returns true if the set contains no integers.
     pub fn is_empty(&self) -> bool {
-        self.ranges.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Number of disjoint intervals (not the number of integers).
     pub fn interval_count(&self) -> usize {
-        self.ranges.len()
+        self.as_slice().len()
     }
 
     /// Total number of integers in the set (saturating).
     pub fn cardinality(&self) -> u128 {
-        self.ranges
+        self.as_slice()
             .iter()
             .map(|(lo, hi)| (hi - lo) as u128 + 1)
             .fold(0u128, |acc, n| acc.saturating_add(n))
@@ -80,17 +143,17 @@ impl IntervalSet {
 
     /// Smallest element, if any.
     pub fn min(&self) -> Option<i128> {
-        self.ranges.first().map(|(lo, _)| *lo)
+        self.as_slice().first().map(|(lo, _)| *lo)
     }
 
     /// Largest element, if any.
     pub fn max(&self) -> Option<i128> {
-        self.ranges.last().map(|(_, hi)| *hi)
+        self.as_slice().last().map(|(_, hi)| *hi)
     }
 
     /// Returns true if `value` is in the set.
     pub fn contains(&self, value: i128) -> bool {
-        self.ranges
+        self.as_slice()
             .binary_search_by(|(lo, hi)| {
                 if value < *lo {
                     std::cmp::Ordering::Greater
@@ -105,22 +168,32 @@ impl IntervalSet {
 
     /// Iterates over the disjoint inclusive intervals.
     pub fn iter_ranges(&self) -> impl Iterator<Item = (i128, i128)> + '_ {
-        self.ranges.iter().copied()
+        self.as_slice().iter().copied()
+    }
+
+    /// True when both sets share the same `Arc`-backed storage (implies
+    /// equality; the converse need not hold). Used as an O(1) fast path.
+    pub fn ptr_eq(&self, other: &IntervalSet) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Big(a), Repr::Big(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Union of two sets.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        if self.is_empty() {
+        if self.is_empty() || self.ptr_eq(other) {
             return other.clone();
         }
         if other.is_empty() {
             return self.clone();
         }
+        let (sa, sb) = (self.as_slice(), other.as_slice());
         // Merge the two sorted range lists, coalescing overlapping or adjacent
         // intervals as we go.
-        let mut out: Vec<(i128, i128)> = Vec::with_capacity(self.ranges.len() + other.ranges.len());
-        let mut a = self.ranges.iter().peekable();
-        let mut b = other.ranges.iter().peekable();
+        let mut out: Vec<(i128, i128)> = Vec::with_capacity(sa.len() + sb.len());
+        let mut a = sa.iter().peekable();
+        let mut b = sb.iter().peekable();
         let push = |out: &mut Vec<(i128, i128)>, (lo, hi): (i128, i128)| match out.last_mut() {
             Some((_, prev_hi)) if lo <= prev_hi.saturating_add(1) => {
                 if hi > *prev_hi {
@@ -151,16 +224,20 @@ impl IntervalSet {
                 (None, None) => break,
             }
         }
-        IntervalSet { ranges: out }
+        IntervalSet::from_sorted(out)
     }
 
     /// Intersection of two sets.
     pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        if self.ptr_eq(other) {
+            return self.clone();
+        }
+        let (sa, sb) = (self.as_slice(), other.as_slice());
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ranges.len() && j < other.ranges.len() {
-            let (alo, ahi) = self.ranges[i];
-            let (blo, bhi) = other.ranges[j];
+        while i < sa.len() && j < sb.len() {
+            let (alo, ahi) = sa[i];
+            let (blo, bhi) = sb[j];
             let lo = alo.max(blo);
             let hi = ahi.min(bhi);
             if lo <= hi {
@@ -172,7 +249,7 @@ impl IntervalSet {
                 j += 1;
             }
         }
-        IntervalSet { ranges: out }
+        IntervalSet::from_sorted(out)
     }
 
     /// Complement of the set within the inclusive universe `[lo, hi]`.
@@ -182,7 +259,7 @@ impl IntervalSet {
         }
         let mut out = Vec::new();
         let mut cursor = lo;
-        for &(rlo, rhi) in &self.ranges {
+        for &(rlo, rhi) in self.as_slice() {
             if rhi < lo {
                 continue;
             }
@@ -200,13 +277,16 @@ impl IntervalSet {
         if cursor <= hi {
             out.push((cursor, hi));
         }
-        IntervalSet { ranges: out }
+        IntervalSet::from_sorted(out)
     }
 
     /// Set difference `self \ other` within no particular universe.
     pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
         if self.is_empty() || other.is_empty() {
             return self.clone();
+        }
+        if self.ptr_eq(other) {
+            return IntervalSet::empty();
         }
         let (lo, hi) = (self.min().unwrap(), self.max().unwrap());
         self.intersect(&other.complement(lo, hi))
@@ -215,13 +295,15 @@ impl IntervalSet {
     /// Shifts every element of the set by `delta` (used to rewrite
     /// `var + offset ⋈ c` into a constraint on `var` itself).
     pub fn shift(&self, delta: i128) -> IntervalSet {
-        IntervalSet {
-            ranges: self
-                .ranges
+        if delta == 0 {
+            return self.clone();
+        }
+        IntervalSet::from_sorted(
+            self.as_slice()
                 .iter()
                 .map(|(lo, hi)| (lo + delta, hi + delta))
                 .collect(),
-        }
+        )
     }
 
     /// Removes a single point from the set.
@@ -264,10 +346,63 @@ impl IntervalSet {
     }
 }
 
+impl Default for IntervalSet {
+    fn default() -> Self {
+        IntervalSet::empty()
+    }
+}
+
+impl PartialEq for IntervalSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for IntervalSet {}
+
+impl Hash for IntervalSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the logical range list so Small and Big representations of the
+        // same set (which canonically never coexist, but could via deserialize
+        // edge cases) hash identically, and so the hash matches what the old
+        // `struct { ranges: Vec<..> }` derive produced.
+        self.as_slice().hash(state);
+    }
+}
+
+// Serialization stays byte-compatible with the previous derived impl for
+// `struct IntervalSet { ranges: Vec<(i128, i128)> }`: a single-entry map.
+impl Serialize for IntervalSet {
+    fn to_content(&self) -> Content {
+        let ranges: Vec<(i128, i128)> = self.as_slice().to_vec();
+        Content::Map(vec![(String::from("ranges"), ranges.to_content())])
+    }
+}
+
+impl<'de> Deserialize<'de> for IntervalSet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::Error as _;
+        match deserializer.deserialize_content()? {
+            Content::Map(mut entries) => {
+                let ranges = serde::take_field(&mut entries, "ranges")
+                    .ok_or_else(|| D::Error::custom("missing field ranges for IntervalSet"))?;
+                let ranges: Vec<(i128, i128)> = serde::from_content(ranges)
+                    .map_err(|e| D::Error::custom(format!("IntervalSet ranges: {e:?}")))?;
+                // Re-canonicalize defensively: hand-edited input may carry
+                // unsorted or overlapping ranges.
+                Ok(IntervalSet::from_ranges(ranges))
+            }
+            other => Err(D::Error::custom(format!(
+                "expected map for IntervalSet, found {other:?}"
+            ))),
+        }
+    }
+}
+
 impl fmt::Debug for IntervalSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (lo, hi)) in self.ranges.iter().enumerate() {
+        for (i, (lo, hi)) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -396,5 +531,38 @@ mod tests {
         assert_eq!(c.cardinality(), 5000);
         assert!(s.intersect(&c).is_empty());
         assert_eq!(s.union(&c), IntervalSet::range(0, 9999));
+    }
+
+    #[test]
+    fn small_sets_are_inline_and_big_clones_share_storage() {
+        // ≤ 2 ranges: inline representation, no Arc involved.
+        let small = IntervalSet::from_ranges(vec![(0, 3), (10, 12)]);
+        assert!(!small.ptr_eq(&small.clone()));
+        assert_eq!(small, small.clone());
+        // > 2 ranges: Arc-backed, clones share storage.
+        let big = IntervalSet::from_ranges(vec![(0, 0), (2, 2), (4, 4)]);
+        let copy = big.clone();
+        assert!(big.ptr_eq(&copy));
+        assert_eq!(big, copy);
+        // Equality still holds across distinct allocations.
+        let rebuilt = IntervalSet::from_ranges(vec![(0, 0), (2, 2), (4, 4)]);
+        assert!(!big.ptr_eq(&rebuilt));
+        assert_eq!(big, rebuilt);
+    }
+
+    #[test]
+    fn serde_shape_matches_the_old_derive() {
+        use serde::Serialize as _;
+        // The manual impl must keep producing the single-entry map the old
+        // `#[derive(Serialize)]` on `{ ranges: Vec<(i128, i128)> }` produced.
+        let s = IntervalSet::from_ranges(vec![(1, 2), (5, 9), (20, 20)]);
+        let content = s.to_content();
+        let expected = Content::Map(vec![(
+            String::from("ranges"),
+            vec![(1i128, 2i128), (5, 9), (20, 20)].to_content(),
+        )]);
+        assert_eq!(content, expected);
+        let back: IntervalSet = serde::from_content(content).expect("roundtrip");
+        assert_eq!(back, s);
     }
 }

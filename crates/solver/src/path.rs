@@ -18,6 +18,7 @@
 
 use crate::cube::{Cube, CubeOverflow};
 use crate::formula::Formula;
+use crate::intern::{self, Interned};
 use crate::solve::SolverResult;
 use serde::{Content, Deserialize, Deserializer, Error, Serialize};
 use std::fmt;
@@ -43,7 +44,8 @@ pub(crate) struct NodeCache {
 /// plus the shared prefix it extends.
 pub struct PathNode {
     id: u64,
-    formula: Formula,
+    formula: Interned<Formula>,
+    content: u64,
     parent: PathCond,
     len: usize,
     pub(crate) cache: Mutex<NodeCache>,
@@ -59,6 +61,20 @@ impl PathNode {
     /// The conjunct added at this node.
     pub fn formula(&self) -> &Formula {
         &self.formula
+    }
+
+    /// The interned handle of the conjunct added at this node.
+    pub fn interned_formula(&self) -> &Interned<Formula> {
+        &self.formula
+    }
+
+    /// The content id of the whole prefix ending at this node: a
+    /// process-unique id of the conjunct *sequence*, independent of which
+    /// nodes carry it (see [`crate::intern::content_id`]). Two nodes with the
+    /// same content id are structurally equal prefixes, even across
+    /// independently built paths — this is the cross-run memo key.
+    pub fn content_id(&self) -> u64 {
+        self.content
     }
 
     /// The shared prefix this node extends.
@@ -112,13 +128,26 @@ impl PathCond {
         if formula == Formula::True {
             return self.clone();
         }
+        let formula = intern::intern_formula(formula);
+        let content = intern::content_id(self.content_id(), formula.id());
         PathCond(Some(Arc::new(PathNode {
             id: NEXT_NODE_ID.fetch_add(1, Ordering::Relaxed),
             formula,
+            content,
             parent: self.clone(),
             len: self.len() + 1,
             cache: Mutex::new(NodeCache::default()),
         })))
+    }
+
+    /// The content id of the whole conjunct sequence
+    /// ([`intern::EMPTY_CONTENT_ID`] for the empty condition). Equal content
+    /// ids imply structurally equal conditions, across independently built
+    /// paths and across injections.
+    pub fn content_id(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(intern::EMPTY_CONTENT_ID, |n| n.content)
     }
 
     /// Iterates over the conjuncts, newest first.
@@ -226,6 +255,11 @@ impl PartialEq for PathCond {
         while let (Some(x), Some(y)) = (a, b) {
             // Shared suffix (common fork ancestor): equal by construction.
             if std::ptr::eq(x, y) {
+                return true;
+            }
+            // Same interned content ⇒ same conjunct sequence, even across
+            // independently built chains.
+            if x.content == y.content {
                 return true;
             }
             if x.formula != y.formula {

@@ -21,7 +21,7 @@ use crate::path::{NodeCache, PathCond, PathNode};
 use crate::stats::SolverStats;
 use crate::term::SymVar;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Tunable limits of the decision procedure.
@@ -89,18 +89,98 @@ const MEMO_CAPACITY: usize = 8192;
 /// that aborted it.
 type CachedCubes = Result<Arc<Vec<Cube>>, CubeOverflow>;
 
+/// The budget fields of a [`SolverConfig`] that the decision procedure's
+/// answers depend on. Global content-memo keys include this so solvers with
+/// different budgets never exchange results.
+type ConfigKey = (usize, usize, usize, usize);
+
+/// Number of independently locked shards of each global content memo.
+const CONTENT_SHARDS: usize = 16;
+
+/// A process-wide memo keyed on interned path content ids (plus the solver's
+/// budget configuration). Shared by every worker's solver *and across
+/// injections*: re-injecting a structurally identical scenario reproduces the
+/// same content ids (see [`crate::intern::content_id`]) and therefore hits
+/// these entries instead of re-solving.
+///
+/// Determinism: a hit is only taken when the prefix preceding the queried
+/// node is already normalised (its node cache is filled), and it then replays
+/// exactly the counters the real computation would have produced — one tip
+/// miss, one parent reuse, the original cubes-examined count — and fills the
+/// node cache with the memoised analysis. Serialized reports are therefore
+/// byte-identical whether a query is memo-answered or recomputed, which is
+/// what makes a *global* memo safe for thread-count-invariant reports.
+///
+/// Shards are selected by content id and cleared at capacity, like the
+/// per-worker memos — correctness never depends on what survives eviction.
+struct ContentMemo<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: std::hash::Hash + Eq, V: Clone> ContentMemo<K, V> {
+    fn new() -> Self {
+        ContentMemo {
+            shards: (0..CONTENT_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn shard(&self, content: u64) -> &Mutex<HashMap<K, V>> {
+        &self.shards[(content as usize) % CONTENT_SHARDS]
+    }
+
+    fn get(&self, content: u64, key: &K) -> Option<V> {
+        let guard = self
+            .shard(content)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.get(key).cloned()
+    }
+
+    fn insert(&self, content: u64, key: K, value: V) {
+        let mut guard = self
+            .shard(content)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.len() >= MEMO_CAPACITY {
+            guard.clear();
+        }
+        guard.insert(key, value);
+    }
+}
+
+/// Global memo for [`Solver::check_path`]: content id → (prefix cubes,
+/// verdict, cubes examined).
+#[allow(clippy::type_complexity)]
+fn path_memo() -> &'static ContentMemo<(u64, ConfigKey), (CachedCubes, SolverResult, u64)> {
+    static MEMO: OnceLock<ContentMemo<(u64, ConfigKey), (CachedCubes, SolverResult, u64)>> =
+        OnceLock::new();
+    MEMO.get_or_init(ContentMemo::new)
+}
+
+/// Global memo for [`Solver::feasible_values_path`]: (content id, variable) →
+/// (projection, cubes examined).
+#[allow(clippy::type_complexity)]
+fn feasible_memo() -> &'static ContentMemo<(u64, SymVar, ConfigKey), (Option<IntervalSet>, u64)> {
+    static MEMO: OnceLock<ContentMemo<(u64, SymVar, ConfigKey), (Option<IntervalSet>, u64)>> =
+        OnceLock::new();
+    MEMO.get_or_init(ContentMemo::new)
+}
+
 /// The constraint solver. Create one per analysis (it accumulates statistics)
 /// and reuse it across queries.
 ///
-/// Two layers of caching sit in front of the decision procedure:
+/// Three layers of caching sit in front of the decision procedure:
 ///
 /// * the **prefix cache** lives on [`PathCond`] nodes (shared by every path
 ///   that forked from the same prefix and by every worker) and stores the cube
 ///   normalisation plus verdict of each prefix, so checking `P ∧ c` reuses the
 ///   analysis of `P` and only folds in `c`;
-/// * the **memo caches** are per-solver (per-worker) maps from whole formulas
-///   (resp. `(prefix, variable)` projections) to results, absorbing repeated
-///   identical queries.
+/// * the **content memos** are process-wide tables keyed on interned content
+///   ids (see [`crate::intern`]), so structurally identical prefixes — sibling
+///   extensions, or a whole scenario re-injected into a fresh network — are
+///   answered without re-solving even though their nodes are distinct;
+/// * the **check memo** is a per-solver formula → result map absorbing
+///   repeated identical [`Solver::check`] queries.
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
     /// Limits of the decision procedure.
@@ -108,16 +188,6 @@ pub struct Solver {
     stats: SolverStats,
     /// Formula → (result, cubes examined) memo for [`Solver::check`].
     memo_check: HashMap<Formula, (SolverResult, u64)>,
-    /// (prefix node id, variable) → (projection, cubes examined) memo for
-    /// [`Solver::feasible_values_path`].
-    memo_feasible: HashMap<(u64, SymVar), (Option<IntervalSet>, u64)>,
-    /// (parent node id, conjunct) → (cubes, result, cubes examined) memo for
-    /// [`Solver::check_path`]. Catches *content* repetition the identity-keyed
-    /// prefix cache cannot see: sibling paths that extend the same shared
-    /// prefix with an identical conjunct get distinct nodes, but their cube
-    /// fold and verdict are the same.
-    #[allow(clippy::type_complexity)]
-    memo_path: HashMap<(u64, Formula), (CachedCubes, SolverResult, u64)>,
 }
 
 impl Solver {
@@ -132,6 +202,17 @@ impl Solver {
     /// Accumulated statistics (queries, outcomes, time in solver).
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// The budget fields that global content-memo keys include, so solvers
+    /// configured differently never exchange cached answers.
+    fn config_key(&self) -> ConfigKey {
+        (
+            self.config.max_cubes,
+            self.config.max_model_attempts,
+            self.config.max_propagation_rounds,
+            self.config.samples_per_var,
+        )
     }
 
     /// Resets the accumulated statistics.
@@ -309,27 +390,41 @@ impl Solver {
             self.stats.prefix_hits += 1;
             return result.clone();
         }
-        // Content memo: a sibling extension of the same parent node with an
-        // identical conjunct has the same cubes and verdict (cubes are a
-        // function of the parent's cube list and the conjunct alone). Replay
-        // the counter pattern of a real computation — tip miss, parent reuse,
-        // cubes examined — so the shared prefix counters stay independent of
-        // which per-worker memo answered.
-        let parent_id = node.parent().node().map_or(0, |p| p.id());
-        let key = (parent_id, node.formula().clone());
-        if let Some((cubes, result, examined)) = self.memo_path.get(&key) {
-            let (cubes, result, examined) = (cubes.clone(), result.clone(), *examined);
-            self.stats.memo_hits += 1;
-            self.stats.prefix_misses += 1;
-            if parent_id != 0 {
-                self.stats.prefix_hits += 1;
+        // Content memo: any prefix with the same *content* — a sibling
+        // extension of a shared parent, or the same scenario re-injected into
+        // a fresh network — has the same cubes and verdict (cubes are a
+        // function of the conjunct sequence alone). A hit is only taken when
+        // the parent prefix is already normalised, because then the real
+        // computation would have been exactly "tip miss, parent reuse, examine
+        // the cubes" — which is the counter pattern the hit replays, keeping
+        // serialized reports byte-identical whether the memo is warm or cold.
+        let parent_cached = match node.parent().node() {
+            None => true,
+            Some(parent) => parent
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .cubes
+                .is_some(),
+        };
+        let content = node.content_id();
+        let memo_key = (content, self.config_key());
+        if parent_cached {
+            if let Some((cubes, result, examined)) = path_memo().get(content, &memo_key) {
+                self.stats.memo_hits += 1;
+                self.stats.content_hits += 1;
+                self.stats.prefix_misses += 1;
+                if node.parent().node().is_some() {
+                    self.stats.prefix_hits += 1;
+                }
+                self.stats.cubes_examined += examined;
+                guard.cubes = Some(cubes);
+                guard.result = Some(result.clone());
+                return result;
             }
-            self.stats.cubes_examined += examined;
-            guard.cubes = Some(cubes);
-            guard.result = Some(result.clone());
-            return result;
         }
         self.stats.memo_misses += 1;
+        self.stats.content_misses += 1;
         let (result, examined) = match self.cubes_locked(&node, &mut guard, true) {
             Err(_) => (SolverResult::Unknown, 0),
             Ok(cubes) => self.solve_cubes(&cubes),
@@ -337,11 +432,7 @@ impl Solver {
         self.stats.cubes_examined += examined;
         guard.result = Some(result.clone());
         if let Some(cubes) = &guard.cubes {
-            if self.memo_path.len() >= MEMO_CAPACITY {
-                self.memo_path.clear();
-            }
-            self.memo_path
-                .insert(key, (cubes.clone(), result.clone(), examined));
+            path_memo().insert(content, memo_key, (cubes.clone(), result.clone(), examined));
         }
         result
     }
@@ -388,31 +479,51 @@ impl Solver {
     }
 
     /// Projects a persistent path condition onto one variable (the incremental
-    /// counterpart of [`Solver::feasible_values`]). Results are memoised per
-    /// `(prefix, variable)` in this solver: the engine queries the same
-    /// projection for every loop-detection field at every port arrival, and
-    /// sibling paths forked from one prefix repeat the identical query.
+    /// counterpart of [`Solver::feasible_values`]). Results are memoised
+    /// process-wide per `(prefix content, variable)`: the engine queries the
+    /// same projection for every loop-detection field at every port arrival,
+    /// sibling paths forked from one prefix repeat the identical query, and a
+    /// re-injected scenario repeats all of them with fresh nodes but identical
+    /// content ids.
     pub fn feasible_values_path(&mut self, path: &PathCond, var: SymVar) -> Option<IntervalSet> {
         if !self.config.incremental {
             return self.feasible_values(&path.to_formula(), var);
         }
         let start = Instant::now();
         self.stats.calls += 1;
-        let key = (path.node().map_or(0, |n| n.id()), var);
-        if let Some((cached, examined)) = self.memo_feasible.get(&key) {
-            let (result, examined) = (cached.clone(), *examined);
-            self.stats.memo_hits += 1;
-            self.stats.cubes_examined += examined;
-            match &result {
-                Some(_) => self.stats.sat += 1,
-                None => self.stats.unknown += 1,
+        let content = path.content_id();
+        let memo_key = (content, var, self.config_key());
+        // A hit is only taken when the tip's cube normalisation is already
+        // cached (or the path is empty): the real computation would then have
+        // been a pure lookup plus projection, with no quiet-fill side effect
+        // on the prefix chain, so replaying its counters — cubes examined,
+        // sat/unknown — keeps reports byte-identical warm or cold.
+        let tip_cached = match path.node() {
+            None => true,
+            Some(node) => node
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .cubes
+                .is_some(),
+        };
+        if tip_cached {
+            if let Some((result, examined)) = feasible_memo().get(content, &memo_key) {
+                self.stats.memo_hits += 1;
+                self.stats.content_hits += 1;
+                self.stats.cubes_examined += examined;
+                match &result {
+                    Some(_) => self.stats.sat += 1,
+                    None => self.stats.unknown += 1,
+                }
+                self.stats.time_in_solver += start.elapsed();
+                return result;
             }
-            self.stats.time_in_solver += start.elapsed();
-            return result;
         }
         self.stats.memo_misses += 1;
-        // Quiet prefix access: whether this worker's memo already held the
-        // projection is scheduling-dependent, so the shared prefix counters
+        self.stats.content_misses += 1;
+        // Quiet prefix access: whether the global memo already held the
+        // projection is warm-state-dependent, so the shared prefix counters
         // must not be driven from here.
         let (result, examined) = match self.prefix_cubes(path, false) {
             Err(_) => {
@@ -426,10 +537,7 @@ impl Solver {
             }
         };
         self.stats.cubes_examined += examined;
-        if self.memo_feasible.len() >= MEMO_CAPACITY {
-            self.memo_feasible.clear();
-        }
-        self.memo_feasible.insert(key, (result.clone(), examined));
+        feasible_memo().insert(content, memo_key, (result.clone(), examined));
         self.stats.time_in_solver += start.elapsed();
         result
     }

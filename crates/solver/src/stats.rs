@@ -39,6 +39,17 @@ pub struct SolverStats {
     /// [`SolverStats::memo_hits`]).
     #[serde(skip)]
     pub memo_misses: u64,
+    /// Process-wide content-memo hits: path queries answered from the global
+    /// memo keyed on interned content ids (see [`crate::intern`]), which is
+    /// what a re-injected scenario hits instead of re-solving. Excluded from
+    /// serialized reports: warm-vs-cold memo state must not change report
+    /// bytes (hits replay the counter pattern of a real computation).
+    #[serde(skip)]
+    pub content_hits: u64,
+    /// Process-wide content-memo misses (excluded from serialized reports,
+    /// see [`SolverStats::content_hits`]).
+    #[serde(skip)]
+    pub content_misses: u64,
     /// Cumulative wall-clock time spent inside the solver.
     #[serde(with = "duration_micros")]
     pub time_in_solver: Duration,
@@ -61,6 +72,8 @@ impl SolverStats {
         self.prefix_misses += other.prefix_misses;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.content_hits += other.content_hits;
+        self.content_misses += other.content_misses;
         self.time_in_solver += other.time_in_solver;
     }
 }
@@ -94,6 +107,8 @@ mod tests {
             prefix_misses: 2,
             memo_hits: 1,
             memo_misses: 3,
+            content_hits: 2,
+            content_misses: 1,
             time_in_solver: Duration::from_millis(10),
         };
         let b = SolverStats {
@@ -106,6 +121,8 @@ mod tests {
             prefix_misses: 1,
             memo_hits: 2,
             memo_misses: 1,
+            content_hits: 1,
+            content_misses: 4,
             time_in_solver: Duration::from_millis(5),
         };
         a.merge(&b);
@@ -118,6 +135,8 @@ mod tests {
         assert_eq!(a.prefix_misses, 3);
         assert_eq!(a.memo_hits, 3);
         assert_eq!(a.memo_misses, 4);
+        assert_eq!(a.content_hits, 3);
+        assert_eq!(a.content_misses, 5);
         assert_eq!(a.time_in_solver, Duration::from_millis(15));
         a.reset();
         assert_eq!(a, SolverStats::default());

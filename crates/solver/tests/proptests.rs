@@ -3,7 +3,7 @@
 //! prefix-cached procedure with from-scratch solving.
 
 use proptest::prelude::*;
-use symnet_solver::{CmpOp, Formula, IntervalSet, PathCond, Solver, SymVar, Term};
+use symnet_solver::{CmpOp, Formula, IntervalSet, PathCond, Solver, SolverConfig, SymVar, Term};
 
 /// Strategy producing small interval sets inside a bounded universe.
 fn interval_set(universe: i128) -> impl Strategy<Value = IntervalSet> {
@@ -147,6 +147,65 @@ proptest! {
         let again = incremental.check_path(&cond);
         prop_assert_eq!(again.is_sat(), scratch.check(&cond.to_formula()).is_sat());
         prop_assert!(incremental.stats().prefix_hits > 0);
+    }
+
+    /// Interning is invisible to answers: rebuilding the same conjunct chain
+    /// from scratch produces fresh path nodes but identical interned content
+    /// ids, so the second pass is answered by the process-wide content memos —
+    /// and must agree, verdict for verdict and interval for interval, with
+    /// both its own first pass and the uninterned `incremental = false`
+    /// baseline that re-solves the materialised formula every time.
+    #[test]
+    fn interned_warm_rerun_agrees_with_uninterned(
+        ops in prop::collection::vec((0usize..8, 0u64..3, 0u64..3, 0u64..64), 1..10),
+    ) {
+        let vars: Vec<SymVar> = (0..3).map(|i| SymVar::new(i, 6)).collect();
+        let conjuncts: Vec<Formula> = ops
+            .iter()
+            .map(|(kind, a, b, value)| {
+                let (va, vb) = (vars[*a as usize], vars[*b as usize]);
+                match kind {
+                    0 => Formula::eq_const(va, *value),
+                    1 => Formula::ne_const(va, *value),
+                    2 => Formula::cmp_const(CmpOp::Le, va, *value),
+                    3 => Formula::cmp_const(CmpOp::Ge, va, *value),
+                    4 => Formula::cmp(CmpOp::Eq, Term::var(va), Term::var(vb).plus((*value as i128) % 8)),
+                    5 => Formula::cmp(CmpOp::Lt, Term::var(va), Term::var(vb)),
+                    6 => Formula::prefix_match(va, *value, (*value % 7) as u8),
+                    _ => Formula::or(vec![
+                        Formula::eq_const(va, *value),
+                        Formula::cmp_const(CmpOp::Ge, vb, *value),
+                    ]),
+                }
+            })
+            .collect();
+        let run = |solver: &mut Solver| {
+            let mut cond = PathCond::empty();
+            let mut verdicts = Vec::new();
+            for conjunct in &conjuncts {
+                cond = cond.push(conjunct.clone());
+                let verdict = solver.check_path(&cond);
+                let projections: Vec<_> = vars
+                    .iter()
+                    .map(|v| solver.feasible_values_path(&cond, *v))
+                    .collect();
+                verdicts.push((verdict.is_sat(), verdict.is_unsat(), projections));
+            }
+            verdicts
+        };
+        let mut cold = Solver::default();
+        let first = run(&mut cold);
+        // Fresh solver, fresh nodes: only interned content survives between
+        // the passes, so agreement here is agreement through the memo tables.
+        let mut warm = Solver::default();
+        let second = run(&mut warm);
+        prop_assert_eq!(&first, &second);
+        let mut uninterned = Solver::with_config(SolverConfig {
+            incremental: false,
+            ..SolverConfig::default()
+        });
+        let third = run(&mut uninterned);
+        prop_assert_eq!(&first, &third);
     }
 
     /// Two-variable conjunctions of constant comparisons and one cross

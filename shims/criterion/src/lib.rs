@@ -6,10 +6,12 @@
 //! one warm-up iteration plus `sample_size` individually-timed iterations,
 //! prints a one-line summary and writes `estimates.json`
 //! (`{"mean": {"point_estimate": <ns>}, "median": {"point_estimate": <ns>},
-//! "std_dev": {"point_estimate": <ns>}, "sample_size": N}`) under
+//! "std_dev": {"point_estimate": <ns>},
+//! "outliers": {"mild": N, "severe": N}, "sample_size": N}`) under
 //! `target/criterion/<group>/<id>/`, so downstream tooling can scrape the
-//! numbers — including run-to-run variance — the way it would scrape real
-//! criterion output.
+//! numbers — including run-to-run variance and Tukey-IQR outlier counts
+//! (mild = beyond 1.5×IQR from the quartiles, severe = beyond 3×IQR) — the
+//! way it would scrape real criterion output.
 
 use std::hint;
 use std::path::PathBuf;
@@ -84,17 +86,24 @@ struct Estimates {
     mean_ns: f64,
     median_ns: f64,
     std_dev_ns: f64,
+    /// Samples outside the mild Tukey fences (1.5×IQR beyond the quartiles)
+    /// but inside the severe ones.
+    mild_outliers: usize,
+    /// Samples outside the severe Tukey fences (3×IQR beyond the quartiles).
+    severe_outliers: usize,
 }
 
 impl Estimates {
-    /// Computes mean, median and (population) standard deviation from the
-    /// per-iteration samples.
+    /// Computes mean, median, (population) standard deviation and Tukey IQR
+    /// outlier counts from the per-iteration samples.
     fn from_samples(samples_ns: &[f64]) -> Estimates {
         if samples_ns.is_empty() {
             return Estimates {
                 mean_ns: f64::NAN,
                 median_ns: f64::NAN,
                 std_dev_ns: f64::NAN,
+                mild_outliers: 0,
+                severe_outliers: 0,
             };
         }
         let n = samples_ns.len() as f64;
@@ -111,12 +120,41 @@ impl Estimates {
             .map(|s| (s - mean) * (s - mean))
             .sum::<f64>()
             / n;
+        // Tukey fences on the interquartile range: mild = beyond 1.5×IQR
+        // from the quartiles, severe = beyond 3×IQR. Same classification as
+        // upstream criterion's outlier report.
+        let q1 = percentile(&sorted, 0.25);
+        let q3 = percentile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let (mild_lo, mild_hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let (severe_lo, severe_hi) = (q1 - 3.0 * iqr, q3 + 3.0 * iqr);
+        let mut mild_outliers = 0;
+        let mut severe_outliers = 0;
+        for &s in &sorted {
+            if s < severe_lo || s > severe_hi {
+                severe_outliers += 1;
+            } else if s < mild_lo || s > mild_hi {
+                mild_outliers += 1;
+            }
+        }
         Estimates {
             mean_ns: mean,
             median_ns: median,
             std_dev_ns: variance.sqrt(),
+            mild_outliers,
+            severe_outliers,
         }
     }
+}
+
+/// Linear-interpolation percentile (R type 7, numpy's default) over an
+/// already sorted, non-empty sample slice. `p` in `[0, 1]`.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let weight = rank - lo as f64;
+    sorted[lo] * (1.0 - weight) + sorted[hi] * weight
 }
 
 /// The timing driver handed to benchmark closures.
@@ -252,14 +290,21 @@ impl Criterion {
             mean_ns,
             median_ns,
             std_dev_ns,
+            mild_outliers,
+            severe_outliers,
         } = estimates;
         let label = if group.is_empty() {
             id.to_string()
         } else {
             format!("{group}/{id}")
         };
+        let outliers = if mild_outliers + severe_outliers > 0 {
+            format!("  [{mild_outliers} mild / {severe_outliers} severe outliers]")
+        } else {
+            String::new()
+        };
         println!(
-            "bench {label:<60} {:>12} ±{:>10}  ({samples} samples)",
+            "bench {label:<60} {:>12} ±{:>10}  ({samples} samples){outliers}",
             human(mean_ns),
             human(std_dev_ns)
         );
@@ -269,10 +314,14 @@ impl Criterion {
             self.output_dir.join(group).join(id)
         };
         if std::fs::create_dir_all(&dir).is_ok() {
+            // The `outliers` field is additive: existing consumers of the
+            // mean/median/std_dev estimates keep parsing unchanged.
             let json = format!(
                 "{{\"mean\": {{\"point_estimate\": {mean_ns}}}, \
                  \"median\": {{\"point_estimate\": {median_ns}}}, \
                  \"std_dev\": {{\"point_estimate\": {std_dev_ns}}}, \
+                 \"outliers\": {{\"mild\": {mild_outliers}, \
+                 \"severe\": {severe_outliers}}}, \
                  \"sample_size\": {samples}}}\n"
             );
             let _ = std::fs::write(dir.join("estimates.json"), json);
@@ -354,6 +403,7 @@ mod tests {
             "\"mean\"",
             "\"median\"",
             "\"std_dev\"",
+            "\"outliers\"",
             "\"sample_size\": 3",
         ] {
             assert!(text.contains(field), "missing {field} in {text}");
@@ -371,5 +421,27 @@ mod tests {
         let o = Estimates::from_samples(&[3.0, 1.0, 2.0]);
         assert!((o.median_ns - 2.0).abs() < 1e-9);
         assert!(Estimates::from_samples(&[]).mean_ns.is_nan());
+    }
+
+    #[test]
+    fn outlier_classification_uses_tukey_fences() {
+        // Ten samples, Q1 = 10, Q3 = 11, IQR = 1: mild fences [8.5, 12.5],
+        // severe fences [7, 14].
+        let base = [9.0, 10.0, 10.0, 10.0, 10.0, 11.0, 11.0, 11.0, 12.0, 12.0];
+        let clean = Estimates::from_samples(&base);
+        assert_eq!((clean.mild_outliers, clean.severe_outliers), (0, 0));
+        // With the two spikes added the quartiles become Q1 = 10, Q3 = 12
+        // (IQR = 2, mild fences [7, 15], severe fences [4, 18]): 16.0 lands
+        // between the fences (mild) and 50.0 beyond the severe one.
+        let mut spiked = base.to_vec();
+        spiked.push(16.0);
+        spiked.push(50.0);
+        let e = Estimates::from_samples(&spiked);
+        assert_eq!(e.mild_outliers, 1, "16.0 should be a mild outlier: {e:?}");
+        assert_eq!(e.severe_outliers, 1, "50.0 should be severe: {e:?}");
+        // A constant sample has zero IQR: every equal value is inside the
+        // (degenerate) fences, nothing is flagged.
+        let flat = Estimates::from_samples(&[5.0; 8]);
+        assert_eq!((flat.mild_outliers, flat.severe_outliers), (0, 0));
     }
 }

@@ -40,7 +40,11 @@ fn canonical(
     (paper_json, serde_json)
 }
 
-/// Asserts byte-identical reports at 1, 2 and 8 workers.
+/// Asserts byte-identical reports at 1, 2 and 8 workers, then re-runs the
+/// 1-worker baseline once more: by then the process-wide content-keyed
+/// solver memos are warm, so the re-run answers from the interner layer and
+/// must still serialize byte-identically (the memo-hit counter-replay
+/// invariant — see DESIGN.md "Interning & memory layout").
 fn assert_thread_invariant(
     name: &str,
     net: &Network,
@@ -64,6 +68,11 @@ fn assert_thread_invariant(
             "{name}: serde JSON differs between 1 and {threads} threads"
         );
     }
+    let warm = canonical(net, config, 1, inject_at, packet);
+    assert_eq!(
+        warm, baseline,
+        "{name}: warm re-injection (content memos populated) differs from the cold run"
+    );
 }
 
 #[test]
