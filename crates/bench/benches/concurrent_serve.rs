@@ -1,0 +1,187 @@
+//! Concurrent-serving load as a criterion group: closed-loop clients against
+//! the epoch-snapshot `SymNetServer` over the `delta_fanout` topology.
+//!
+//! Two series per client count:
+//!
+//! * `queries/<n>` — `n` closed-loop clients, each submitting
+//!   `PER_CLIENT` verification queries back-to-back against a quiescent
+//!   network (no epochs published during the run).
+//! * `queries_deltas/<n>` — the same closed loop while a publisher thread
+//!   drives a station join/leave delta stream, so queries keep landing on
+//!   fresh epochs and the copy-on-write publication path is on the clock too.
+//!
+//! One iteration = one full closed-loop round (`n × PER_CLIENT` queries), so
+//! the criterion mean is the round's wall time; per-query latency statistics
+//! (mean/median/p99, queueing included) are printed after the sweep from a
+//! dedicated measurement round.
+//!
+//! Set `SYMNET_SERVE_CLIENTS=a,b,c` to override the client sweep (the CI
+//! default is `1,4,16`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use symnet_bench::{closed_loop, summarize_latencies};
+use symnet_core::{ServeHandle, ServerConfig, SymNetServer};
+use symnet_models::delta::Delta;
+use symnet_models::scenarios::{delta_fanout, fanout_mac, DeltaFanout};
+
+const LEAVES: usize = 8;
+const MACS_PER_LEAF: usize = 4;
+const PER_CLIENT: usize = 4;
+
+fn client_sweep() -> Vec<usize> {
+    std::env::var("SYMNET_SERVE_CLIENTS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|n| n.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 16])
+}
+
+struct Harness {
+    server: Option<SymNetServer>,
+    handle: ServeHandle,
+    fanout: DeltaFanout,
+    stop: Arc<AtomicBool>,
+    publisher: Option<JoinHandle<u64>>,
+}
+
+impl Harness {
+    /// A resident server (and, when `with_deltas`, a join/leave delta
+    /// publisher) that lives across every iteration of one series.
+    fn start(clients: usize, with_deltas: bool) -> Harness {
+        let fanout = delta_fanout(LEAVES, MACS_PER_LEAF);
+        let server = SymNetServer::start(
+            fanout.network.clone(),
+            ServerConfig::default().with_capacity(2 * clients + 8),
+        );
+        let handle = server.handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = with_deltas.then(|| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            // `delta_fanout` is deterministic, so a fresh build's tables
+            // carry the same element ids as the served network.
+            let mut tables = delta_fanout(LEAVES, MACS_PER_LEAF).tables;
+            let leaf = fanout.leaves[0];
+            let station = fanout_mac(LEAVES + 7, 0);
+            std::thread::spawn(move || {
+                let mut published = 0u64;
+                let mut joined = false;
+                while !stop.load(Ordering::Relaxed) {
+                    let delta = if joined {
+                        Delta::MacAge {
+                            element: leaf,
+                            mac: station,
+                            vlan: None,
+                        }
+                    } else {
+                        Delta::MacLearn {
+                            element: leaf,
+                            mac: station,
+                            vlan: None,
+                            port: 0,
+                        }
+                    };
+                    joined = !joined;
+                    let submitted = tables
+                        .apply_with(&delta, |element, program| {
+                            handle.apply_delta(element, program)
+                        })
+                        .expect("join/leave deltas always change the table")
+                        .expect("join/leave deltas always change the table");
+                    match submitted.map(|ticket| ticket.wait()) {
+                        Ok(Ok(_)) => published += 1,
+                        _ => break, // overloaded or shutting down
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+                published
+            })
+        });
+        Harness {
+            server: Some(server),
+            handle,
+            fanout,
+            stop,
+            publisher,
+        }
+    }
+
+    fn round(&self, clients: usize) -> usize {
+        closed_loop(&self.handle, self.fanout.access, clients, PER_CLIENT).len()
+    }
+
+    fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        let published = self
+            .publisher
+            .take()
+            .map(|p| p.join().expect("delta publisher"))
+            .unwrap_or(0);
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        published
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let sweep = client_sweep();
+    let mut group = c.benchmark_group("concurrent_serve");
+    group.sample_size(10);
+    for &clients in &sweep {
+        for with_deltas in [false, true] {
+            let series = if with_deltas {
+                "queries_deltas"
+            } else {
+                "queries"
+            };
+            let harness = Harness::start(clients, with_deltas);
+            group.bench_with_input(
+                BenchmarkId::new(series, clients),
+                &clients,
+                |b, &clients| {
+                    b.iter(|| {
+                        let served = harness.round(clients);
+                        assert_eq!(served, clients * PER_CLIENT);
+                        served
+                    })
+                },
+            );
+            harness.stop();
+        }
+    }
+    group.finish();
+
+    // Latency report: one dedicated round per configuration, per-query wall
+    // times (admission to finalization) summarized as mean/median/p99.
+    for &clients in &sweep {
+        for with_deltas in [false, true] {
+            let harness = Harness::start(clients, with_deltas);
+            let start = std::time::Instant::now();
+            let mut latencies =
+                closed_loop(&harness.handle, harness.fanout.access, clients, PER_CLIENT);
+            let elapsed = start.elapsed();
+            let published = harness.stop();
+            let s = summarize_latencies(&mut latencies);
+            println!(
+                "concurrent_serve latency: clients={clients:<3} deltas={published:<4} \
+                 queries={:<4} q/s={:<9.1} mean={:.3?} median={:.3?} p99={:.3?}",
+                latencies.len(),
+                latencies.len() as f64 / elapsed.as_secs_f64(),
+                s.mean,
+                s.median,
+                s.p99,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! CI bench-regression gate: diffs a fresh `snapshot-bench` output (usually
+//! `BENCH_ci.json`) against a committed baseline (`BENCH_<pr>.json`) and
+//! fails when a gated series' mean regresses by more than the threshold.
+//!
+//! ```text
+//! cargo bench -p symnet-bench
+//! cargo run --release -p symnet-bench --bin snapshot-bench -- BENCH_ci.json
+//! cargo run --release -p symnet-bench --bin bench-diff -- BENCH_8.json BENCH_ci.json
+//! ```
+//!
+//! Only a curated allowlist of series is gated: the single-process,
+//! fixed-size experiments whose means are stable enough on shared CI runners
+//! to make a 25% swing meaningful. Load-dependent series (the concurrent
+//! serving closed loops) and anything not in the allowlist are reported but
+//! never fail the gate. Missing series — a bench that did not run in this CI
+//! job, or a series that did not exist at baseline time — are reported and
+//! skipped, so partial bench runs stay diffable.
+//!
+//! Exit status: 0 when no gated regression exceeds the threshold, 1
+//! otherwise. `--threshold <percent>` overrides the default 25.
+
+use serde_json::{Number, Value};
+use std::process::ExitCode;
+
+/// Series gated by the regression check (prefix match on `group/id` labels).
+/// Curated for CI stability: deterministic single-injection experiments with
+/// fixed workload sizes.
+const GATED_PREFIXES: &[&str] = &[
+    "sec85_department/",
+    "service_deltas/",
+    "fig8_switch_models/",
+    "full_scale/",
+];
+
+/// Default regression threshold: mean more than 25% above baseline fails.
+const DEFAULT_THRESHOLD_PERCENT: f64 = 25.0;
+
+fn mean_ns(series: &Value) -> Option<f64> {
+    match series.get_key("mean").get_key("point_estimate") {
+        Value::Number(Number::Int(v)) => Some(*v as f64),
+        Value::Number(Number::Float(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let Value::Object(series) = value.get_key("series") else {
+        return Err(format!("{path}: no \"series\" object"));
+    };
+    let mut out = Vec::new();
+    for (label, body) in series.iter() {
+        match mean_ns(body) {
+            Some(mean) => out.push((label.clone(), mean)),
+            None => eprintln!("bench-diff: {path}: {label}: no mean.point_estimate, skipped"),
+        }
+    }
+    Ok(out)
+}
+
+fn gated(label: &str) -> bool {
+    GATED_PREFIXES.iter().any(|p| label.starts_with(p))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PERCENT;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            match iter.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold expects a number (percent)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench-diff <baseline.json> <current.json> [--threshold <percent>]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-diff: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (label, base_mean) in &baseline {
+        let Some((_, cur_mean)) = current.iter().find(|(l, _)| l == label) else {
+            println!("bench-diff: {label}: not in {current_path} (bench not run), skipped");
+            continue;
+        };
+        let delta_percent = (cur_mean - base_mean) / base_mean * 100.0;
+        let gate = gated(label);
+        let verdict = if gate && delta_percent > threshold {
+            regressions.push((label.clone(), delta_percent));
+            "REGRESSED"
+        } else if gate {
+            "ok"
+        } else {
+            "info"
+        };
+        compared += 1;
+        println!(
+            "bench-diff: {label}: {base_mean:.0} -> {cur_mean:.0} ns ({delta_percent:+.1}%) [{verdict}]"
+        );
+    }
+    for (label, _) in &current {
+        if !baseline.iter().any(|(l, _)| l == label) {
+            println!("bench-diff: {label}: new series (not in {baseline_path})");
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench-diff: {compared} series compared, no gated mean regression above {threshold}%"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-diff: {} gated series regressed more than {threshold}%:",
+            regressions.len()
+        );
+        for (label, delta) in &regressions {
+            eprintln!("  {label}: {delta:+.1}%");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -4,22 +4,46 @@
 //! cargo run --release -p symnet-bench --bin paper -- all
 //! cargo run --release -p symnet-bench --bin paper -- table1 fig8 table2
 //! cargo run --release -p symnet-bench --bin paper -- --full all
+//! cargo run --release -p symnet-bench --bin paper -- serve --clients 4
 //! ```
 //!
 //! Without `--full`, reduced workload sizes are used so that every experiment
 //! finishes in seconds on a laptop; `--full` uses the paper-scale parameters
-//! (hundreds of thousands of MAC-table entries and prefixes).
+//! (hundreds of thousands of MAC-table entries and prefixes). `serve
+//! --clients N` switches the serve experiment to the concurrent-serving load
+//! test (N closed-loop clients against the epoch-snapshot server).
 
-use symnet_bench::{fig8, sec83, sec84, sec85, serve, table1, table2, table3, table4, table5};
+use symnet_bench::{
+    fig8, sec83, sec84, sec85, serve, serve_concurrent, table1, table2, table3, table4, table5,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut full = false;
+    let mut clients: Option<usize> = None;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--full" {
+            full = true;
+        } else if arg == "--clients" {
+            clients = iter.next().and_then(|v| v.parse().ok());
+            if clients.is_none() {
+                eprintln!("--clients expects a positive integer");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = arg.strip_prefix("--clients=") {
+            match v.parse() {
+                Ok(n) => clients = Some(n),
+                Err(_) => {
+                    eprintln!("--clients expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if !arg.starts_with("--") {
+            selected.push(arg.as_str());
+        }
+    }
     let all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
@@ -63,10 +87,26 @@ fn main() {
         println!("{}", sec85(sw, macs, routes).render());
     }
     if want("serve") {
-        // Resident-service demo: a scripted MAC learn/age/roam delta stream
-        // over the fan-out topology, incremental re-verification next to the
-        // from-scratch baseline (byte-identity asserted per event).
-        let (leaves, macs_per_leaf) = if full { (32, 8) } else { (8, 4) };
-        println!("{}", serve(leaves, macs_per_leaf).render());
+        match clients {
+            // Concurrent-serving demo: N closed-loop clients against the
+            // epoch-snapshot server, with and without a concurrent delta
+            // stream; throughput plus latency mean/median/p99 per row.
+            Some(n) => {
+                let (leaves, macs_per_leaf, per_client) =
+                    if full { (32, 8, 16) } else { (8, 4, 8) };
+                println!(
+                    "{}",
+                    serve_concurrent(&[n.max(1)], per_client, leaves, macs_per_leaf).render()
+                );
+            }
+            // Resident-service demo: a scripted MAC learn/age/roam delta
+            // stream over the fan-out topology, incremental re-verification
+            // next to the from-scratch baseline (byte-identity asserted per
+            // event).
+            None => {
+                let (leaves, macs_per_leaf) = if full { (32, 8) } else { (8, 4) };
+                println!("{}", serve(leaves, macs_per_leaf).render());
+            }
+        }
     }
 }

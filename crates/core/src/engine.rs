@@ -384,9 +384,24 @@ impl PendingPath {
 }
 
 /// Mutable context used by the interpreter while processing one pending path.
-struct Ctx {
+/// Workers own one context each — the engine's scoped workers for the length
+/// of a run, the serving subsystem's pool workers ([`crate::server`]) for the
+/// life of the pool — so the solver's memo tables stay warm across steps (and,
+/// in the server, across queries).
+pub(crate) struct Ctx {
     solver: Solver,
     symbols: VarAllocator,
+}
+
+impl Ctx {
+    /// A fresh per-worker context. The allocator is a placeholder: every
+    /// processed path installs its own allocator for the duration of its step.
+    pub(crate) fn new(config: SolverConfig) -> Ctx {
+        Ctx {
+            solver: Solver::with_config(config),
+            symbols: VarAllocator::new(),
+        }
+    }
 }
 
 /// Deterministic sort key of one emitted path: the lineage of the pending
@@ -459,7 +474,7 @@ impl PathBudget {
     }
 
     /// True once every slot is taken (exploration can stop).
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.reserved.load(AtomicOrdering::Relaxed) >= self.cap
     }
 }
@@ -536,7 +551,9 @@ impl<'a> StepSink<'a> {
 /// peers without waiting to be robbed.
 const LOCAL_DEQUE_CAP: usize = 256;
 
-/// The work-stealing scheduler of the parallel driver.
+/// The work-stealing scheduler of the parallel driver — generic over the work
+/// item so the serving subsystem ([`crate::server`]) can run the same protocol
+/// over query-tagged paths in a long-lived pool.
 ///
 /// Topology: one bounded deque per worker plus one shared overflow injector.
 /// The owner pushes and pops at the *back* of its deque (LIFO — depth-first
@@ -553,11 +570,16 @@ const LOCAL_DEQUE_CAP: usize = 256;
 /// pop) lets an idle worker decide, under the sleep lock, whether anything is
 /// worth re-scanning; producers bump it before taking the same lock to
 /// notify, so a sleeper can never miss a wakeup.
-struct StealScheduler {
+///
+/// A **persistent** scheduler (the server pool) never terminates on
+/// `outstanding == 0`: an empty pool just means no query is in flight, so
+/// idle workers sleep until [`StealScheduler::inject`] publishes the roots of
+/// a newly admitted query or [`StealScheduler::stop`] shuts the pool down.
+pub(crate) struct StealScheduler<T> {
     /// One bounded deque per worker.
-    locals: Vec<Mutex<VecDeque<PendingPath>>>,
+    locals: Vec<Mutex<VecDeque<T>>>,
     /// Shared overflow injector: the injection roots plus local overflow.
-    injector: Mutex<VecDeque<PendingPath>>,
+    injector: Mutex<VecDeque<T>>,
     /// Queued + in-flight paths; 0 means no work can ever appear again.
     outstanding: AtomicUsize,
     /// Paths currently sitting in some queue (conservative: incremented
@@ -572,6 +594,9 @@ struct StealScheduler {
     /// Sleep coordination for idle workers.
     idle: Mutex<()>,
     ready: Condvar,
+    /// Long-lived pool mode: an empty scheduler parks its workers instead of
+    /// terminating them (see the type docs).
+    persistent: bool,
 }
 
 /// Locks a mutex, tolerating poison: the engine catches worker panics and
@@ -580,7 +605,7 @@ struct StealScheduler {
 /// slot) is still structurally valid and the remaining workers must keep
 /// draining instead of cascading `expect("poisoned")` panics through the
 /// whole pool.
-fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -596,8 +621,8 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-impl StealScheduler {
-    fn new(workers: usize, roots: Vec<PendingPath>) -> Self {
+impl<T> StealScheduler<T> {
+    fn new(workers: usize, roots: Vec<T>) -> Self {
         let count = roots.len();
         StealScheduler {
             locals: (0..workers)
@@ -610,13 +635,37 @@ impl StealScheduler {
             panic: Mutex::new(None),
             idle: Mutex::new(()),
             ready: Condvar::new(),
+            persistent: false,
         }
+    }
+
+    /// An empty long-lived pool: workers park when no work exists instead of
+    /// terminating, and only [`StealScheduler::stop`] ends them. Work arrives
+    /// later through [`StealScheduler::inject`].
+    pub(crate) fn persistent(workers: usize) -> Self {
+        StealScheduler {
+            persistent: true,
+            ..StealScheduler::new(workers, Vec::new())
+        }
+    }
+
+    /// Publishes externally produced work (the root paths of a newly admitted
+    /// query) onto the shared injector and wakes the pool.
+    pub(crate) fn inject(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        self.outstanding
+            .fetch_add(items.len(), AtomicOrdering::SeqCst);
+        self.queued.fetch_add(items.len(), AtomicOrdering::SeqCst);
+        relock(&self.injector).extend(items);
+        self.wake_all();
     }
 
     /// Blocks until a pending path is available for worker `me`; `None` means
     /// the run is over (every queue drained with nothing in flight, or
-    /// stopped by the path budget).
-    fn pop(&self, me: usize, stats: &mut SchedStats) -> Option<PendingPath> {
+    /// stopped by the path budget / pool shutdown).
+    pub(crate) fn pop(&self, me: usize, stats: &mut SchedStats) -> Option<T> {
         loop {
             if self.stopped.load(AtomicOrdering::SeqCst) {
                 return None;
@@ -644,7 +693,7 @@ impl StealScheduler {
             let n = self.locals.len();
             for offset in 1..n {
                 let victim = (me + offset) % n;
-                let batch: Vec<PendingPath> = {
+                let batch: Vec<T> = {
                     let mut deque = relock(&self.locals[victim]);
                     let take = deque.len().div_ceil(2).min(LOCAL_DEQUE_CAP);
                     deque.drain(..take).collect()
@@ -659,7 +708,7 @@ impl StealScheduler {
                 self.queued.fetch_sub(1, AtomicOrdering::SeqCst);
                 let mut batch = batch.into_iter();
                 let first = batch.next();
-                let rest: Vec<PendingPath> = batch.collect();
+                let rest: Vec<T> = batch.collect();
                 if !rest.is_empty() {
                     relock(&self.locals[me]).extend(rest);
                     // The parked paths became stealable again from a new
@@ -674,15 +723,17 @@ impl StealScheduler {
             // the sleep lock closes the race with a producer that published
             // between our scan and the lock (producers bump `queued` before
             // taking the lock to notify). The timeout is a belt-and-braces
-            // backstop, not load-bearing.
-            if self.outstanding.load(AtomicOrdering::SeqCst) == 0 {
+            // backstop, not load-bearing. A persistent pool never terminates
+            // on emptiness — an idle pool parks here until the next query's
+            // roots are injected or the pool is stopped.
+            if !self.persistent && self.outstanding.load(AtomicOrdering::SeqCst) == 0 {
                 self.wake_all();
                 return None;
             }
             let guard = relock(&self.idle);
             if self.queued.load(AtomicOrdering::SeqCst) == 0
                 && !self.stopped.load(AtomicOrdering::SeqCst)
-                && self.outstanding.load(AtomicOrdering::SeqCst) != 0
+                && (self.persistent || self.outstanding.load(AtomicOrdering::SeqCst) != 0)
             {
                 let _ = self
                     .ready
@@ -694,7 +745,7 @@ impl StealScheduler {
 
     /// Publishes the children of a finished processing step onto worker
     /// `me`'s deque (overflow spilling to the injector) and retires the step.
-    fn complete(&self, me: usize, children: Vec<PendingPath>, stats: &mut SchedStats) {
+    pub(crate) fn complete(&self, me: usize, children: Vec<T>, stats: &mut SchedStats) {
         if !children.is_empty() {
             // Count the children as outstanding *before* they become visible
             // so `outstanding` can never dip to zero while work exists.
@@ -702,7 +753,7 @@ impl StealScheduler {
                 .fetch_add(children.len(), AtomicOrdering::SeqCst);
             self.queued
                 .fetch_add(children.len(), AtomicOrdering::SeqCst);
-            let mut spill: Vec<PendingPath> = Vec::new();
+            let mut spill: Vec<T> = Vec::new();
             {
                 let mut local = relock(&self.locals[me]);
                 for child in children {
@@ -732,8 +783,9 @@ impl StealScheduler {
         }
     }
 
-    /// Stops the run (path budget exhausted, or a worker unwound).
-    fn stop(&self) {
+    /// Stops the run (path budget exhausted, a worker unwound, or — for a
+    /// persistent pool — shutdown).
+    pub(crate) fn stop(&self) {
         self.stopped.store(true, AtomicOrdering::SeqCst);
         self.wake_all();
     }
@@ -1098,7 +1150,7 @@ impl SymNet {
     /// recorded in the scheduler and ends this worker's loop.
     fn worker(
         &self,
-        sched: &StealScheduler,
+        sched: &StealScheduler<PendingPath>,
         me: usize,
         budget: &PathBudget,
         collect_checkpoints: bool,
@@ -1110,7 +1162,7 @@ impl SymNet {
         // on unwind so peers exit; the join error is then surfaced by
         // `drive_parallel`.
         struct PanicGuard<'a> {
-            sched: &'a StealScheduler,
+            sched: &'a StealScheduler<PendingPath>,
             armed: bool,
         }
         impl Drop for PanicGuard<'_> {
@@ -1163,8 +1215,10 @@ impl SymNet {
     }
 
     /// Processes one path arrival at an element input port, emitting
-    /// terminated paths and forked children into the caller's buffers.
-    fn process_pending(
+    /// terminated paths and forked children into the caller's buffers. This
+    /// is the unit of work of both the per-run drivers above and the serving
+    /// subsystem's long-lived pool ([`crate::server`]).
+    pub(crate) fn process_pending(
         &self,
         ctx: &mut Ctx,
         budget: &PathBudget,

@@ -19,6 +19,11 @@
 //!   the execution report: reachability, field invariance, header visibility.
 //! * [`report`] renders execution reports as JSON, mirroring the paper's
 //!   "list of explored paths in json format" output.
+//! * [`service`] keeps verification *resident*: standing queries absorb rule
+//!   deltas and re-verify only invalidated path suffixes.
+//! * [`server`] serves many concurrent queries against a mutating network:
+//!   epoch-pinned snapshots, a bounded admission queue and a persistent
+//!   work-stealing pool shared by all in-flight queries.
 //!
 //! ```
 //! use symnet_core::engine::SymNet;
@@ -47,6 +52,7 @@ pub mod error;
 pub mod network;
 pub mod pmap;
 pub mod report;
+pub mod server;
 pub mod service;
 pub mod state;
 pub mod symbols;
@@ -56,6 +62,7 @@ pub mod verify;
 pub use engine::{ExecConfig, ExecutionReport, PathReport, PathStatus, SymNet};
 pub use error::{DropReason, EngineError, ExecError};
 pub use network::{ElementId, Network};
+pub use server::{ServeHandle, ServedReport, ServerConfig, ServerError, ServerStats, SymNetServer};
 pub use service::{QueryId, ServiceReport, ServiceStats, UpdateStats, VerifyService};
 pub use state::ExecState;
 pub use value::Value;

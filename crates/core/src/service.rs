@@ -175,6 +175,15 @@ impl VerifyService {
         SymNet::shared(self.network.clone(), self.config.clone())
     }
 
+    /// The current topology as a shared snapshot (O(1)). This is the bridge
+    /// to the concurrent serving subsystem: hand the clone to
+    /// [`SymNetServer::start`](crate::server::SymNetServer) (via
+    /// [`Network::clone`]) to serve the service's current epoch to many
+    /// concurrent clients while this service keeps its incremental sessions.
+    pub fn network_shared(&self) -> Arc<Network> {
+        Arc::clone(&self.network)
+    }
+
     /// Registers a standing query: inject a packet built by `packet` at
     /// `element`'s input port `input_port`. Nothing is explored until the
     /// first [`VerifyService::verify`].

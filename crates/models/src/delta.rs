@@ -277,6 +277,28 @@ impl RuleTables {
         service: &mut VerifyService,
         delta: &Delta,
     ) -> Result<Option<UpdateStats>, DeltaError> {
+        self.apply_with(delta, |element, program| {
+            service.apply_update(element, program)
+        })
+    }
+
+    /// Applies a delta against the tables alone and hands the recompiled
+    /// program to `publish` — the generic form of [`RuleTables::apply`] that
+    /// lets any epoch publisher consume deltas. The concurrent server is the
+    /// other caller: `tables.apply_with(&delta, |el, prog|
+    /// handle.apply_delta(el, prog))` keeps a [`ServeHandle`]'s topology the
+    /// compiled truth of these tables without the server depending on this
+    /// crate.
+    ///
+    /// As with [`RuleTables::apply`], `Ok(None)` means the delta was a no-op
+    /// on its table and nothing was published.
+    ///
+    /// [`ServeHandle`]: symnet_core::server::ServeHandle
+    pub fn apply_with<R>(
+        &mut self,
+        delta: &Delta,
+        publish: impl FnOnce(ElementId, ElementProgram) -> R,
+    ) -> Result<Option<R>, DeltaError> {
         let element = delta.element();
         let registered = self
             .elements
@@ -286,7 +308,7 @@ impl RuleTables {
         if !changed {
             return Ok(None);
         }
-        Ok(Some(service.apply_update(element, registered.compile())))
+        Ok(Some(publish(element, registered.compile())))
     }
 }
 

@@ -23,11 +23,18 @@
 //! Interners hold *strong* references to their canonical values: an interned
 //! formula stays resident after the last path referencing it dies, so the next
 //! injection of the same scenario re-derives identical ids and hits the memos.
-//! To bound memory, every shard clears itself once it reaches capacity
-//! (mirroring the solver's own memo eviction). Ids are never reused — after a
-//! clear, re-interning a value yields a *fresh* id, so stale memo entries keyed
-//! on evicted ids can never be confused with new content; they simply stop
-//! matching and age out with their own table's eviction.
+//! To bound memory, every shard runs a **second-chance sweep** once it reaches
+//! capacity: entries hit since the previous sweep keep their slot (their
+//! reference bit is cleared, arming them for the next round), one-shot entries
+//! are evicted. A working set that genuinely exceeds capacity degrades to the
+//! old clear-at-capacity behaviour — the sweep falls back to a full clear when
+//! it frees nothing — so memory stays bounded either way, but a hot working
+//! set (the memo-backing formulas of a long `--full`-scale chain) survives
+//! instead of being thrashed out by cold traffic. [`eviction_stats`] exposes
+//! the per-table eviction and sweep counters. Ids are never reused — after an
+//! eviction, re-interning a value yields a *fresh* id, so stale memo entries
+//! keyed on evicted ids can never be confused with new content; they simply
+//! stop matching and age out with their own table's eviction.
 //!
 //! `Arc` rather than `Rc` because interned values cross threads: the engine's
 //! work-stealing workers push and steal paths (whose nodes hold `Interned<
@@ -52,11 +59,54 @@ pub const EMPTY_CONTENT_ID: u64 = 0;
 
 /// Number of independently locked shards per interner.
 const SHARD_COUNT: usize = 16;
-/// Distinct values a shard holds before it clears itself.
+/// Distinct values a shard holds before it runs a second-chance sweep.
 const SHARD_CAP: usize = 8192;
-/// Distinct `(parent, formula)` pairs the content-id table holds before
-/// clearing.
+/// Distinct `(parent, formula)` pairs the content-id table holds before it
+/// runs a second-chance sweep.
 const CONTENT_CAP: usize = 1 << 17;
+
+/// Values evicted from the content-id table over the process lifetime.
+static CONTENT_EVICTED: AtomicU64 = AtomicU64::new(0);
+/// Second-chance sweeps run on the content-id table.
+static CONTENT_SWEEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Lifetime eviction counters of one interning table.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionStats {
+    /// Canonical values dropped by second-chance sweeps (including full-clear
+    /// fallbacks).
+    pub evicted: u64,
+    /// Sweeps run.
+    pub sweeps: u64,
+}
+
+/// Eviction counters of every process-wide interning table.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoEvictionStats {
+    /// The [`formulas`] interner.
+    pub formulas: EvictionStats,
+    /// The [`intervals`] interner.
+    pub intervals: EvictionStats,
+    /// The [`content_id`] table.
+    pub content: EvictionStats,
+}
+
+/// Snapshot of the eviction and sweep counters of the process-wide tables.
+///
+/// `evicted == 0` after a long run means the hot working set (memo-backing
+/// formulas, content chains) fit in the tables and no memo layer was thrashed;
+/// a large count with few sweeps means mostly one-shot traffic aged out, which
+/// is the intended behaviour.
+pub fn eviction_stats() -> MemoEvictionStats {
+    MemoEvictionStats {
+        formulas: formulas().eviction_stats(),
+        intervals: intervals().eviction_stats(),
+        content: EvictionStats {
+            evicted: CONTENT_EVICTED.load(Ordering::Relaxed),
+            sweeps: CONTENT_SWEEPS.load(Ordering::Relaxed),
+        },
+    }
+}
 
 struct Entry<T> {
     hash: u64,
@@ -130,11 +180,53 @@ impl<T: std::fmt::Display> std::fmt::Display for Interned<T> {
     }
 }
 
+/// One resident canonical value plus its second-chance reference bit (set on
+/// every hit, cleared by a sweep — an entry survives a sweep iff it was hit
+/// since the previous one).
+struct Slot<T> {
+    handle: Interned<T>,
+    touched: bool,
+}
+
 struct Shard<T> {
     /// Hash → canonical entries with that hash (almost always one).
-    entries: HashMap<u64, Vec<Interned<T>>>,
+    entries: HashMap<u64, Vec<Slot<T>>>,
     /// Total canonical values across all buckets.
     live: usize,
+    /// Values evicted by sweeps over this shard's lifetime.
+    evicted: u64,
+    /// Second-chance sweeps run on this shard.
+    sweeps: u64,
+}
+
+impl<T> Shard<T> {
+    /// The second-chance eviction pass: keep entries whose reference bit is
+    /// set (clearing it, so surviving another round requires another hit),
+    /// evict the rest. When everything is hot — the working set genuinely
+    /// exceeds capacity — fall back to a full clear so memory stays bounded.
+    fn sweep(&mut self) {
+        let mut freed = 0usize;
+        self.entries.retain(|_, bucket| {
+            bucket.retain_mut(|slot| {
+                if slot.touched {
+                    slot.touched = false;
+                    true
+                } else {
+                    freed += 1;
+                    false
+                }
+            });
+            !bucket.is_empty()
+        });
+        self.live -= freed;
+        self.evicted += freed as u64;
+        self.sweeps += 1;
+        if self.live >= SHARD_CAP {
+            self.evicted += self.live as u64;
+            self.entries.clear();
+            self.live = 0;
+        }
+    }
 }
 
 /// A sharded hash-cons table. See the module docs.
@@ -157,6 +249,8 @@ impl<T: Hash + Eq> Interner<T> {
                     Mutex::new(Shard {
                         entries: HashMap::new(),
                         live: 0,
+                        evicted: 0,
+                        sweeps: 0,
                     })
                 })
                 .collect(),
@@ -169,25 +263,28 @@ impl<T: Hash + Eq> Interner<T> {
         let hash = structural_hash(&value);
         let shard = &self.shards[(hash as usize) % SHARD_COUNT];
         let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(bucket) = guard.entries.get(&hash) {
-            if let Some(found) = bucket.iter().find(|e| e.0.value == value) {
-                return found.clone();
+        if let Some(bucket) = guard.entries.get_mut(&hash) {
+            if let Some(found) = bucket.iter_mut().find(|s| s.handle.0.value == value) {
+                // A hit sets the reference bit: this entry survives the next
+                // sweep.
+                found.touched = true;
+                return found.handle.clone();
             }
         }
         if guard.live >= SHARD_CAP {
-            guard.entries.clear();
-            guard.live = 0;
+            guard.sweep();
         }
         let interned = Interned(Arc::new(Entry {
             hash,
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             value,
         }));
-        guard
-            .entries
-            .entry(hash)
-            .or_default()
-            .push(interned.clone());
+        // New entries start cold: a value never hit again is evicted by the
+        // next sweep, so one-shot traffic cannot thrash the hot working set.
+        guard.entries.entry(hash).or_default().push(Slot {
+            handle: interned.clone(),
+            touched: false,
+        });
         guard.live += 1;
         interned
     }
@@ -198,6 +295,17 @@ impl<T: Hash + Eq> Interner<T> {
             .iter()
             .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).live)
             .sum()
+    }
+
+    /// Lifetime eviction counters of this interner, summed over its shards.
+    pub fn eviction_stats(&self) -> EvictionStats {
+        let mut stats = EvictionStats::default();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.evicted += guard.evicted;
+            stats.sweeps += guard.sweeps;
+        }
+        stats
     }
 
     /// True when no value is resident.
@@ -245,15 +353,31 @@ pub fn canonical_interval(set: IntervalSet) -> IntervalSet {
 /// the extended prefix. Pass [`EMPTY_CONTENT_ID`] as `parent` for the first
 /// conjunct; `formula` is the id of an [`Interned<Formula>`].
 pub fn content_id(parent: u64, formula: u64) -> u64 {
-    static CONTENT: OnceLock<Mutex<HashMap<(u64, u64), u64>>> = OnceLock::new();
+    /// Content id plus the second-chance reference bit of one `(parent,
+    /// formula)` pair.
+    type ContentSlot = (u64, bool);
+    static CONTENT: OnceLock<Mutex<HashMap<(u64, u64), ContentSlot>>> = OnceLock::new();
     let map = CONTENT.get_or_init(|| Mutex::new(HashMap::new()));
     let mut guard = map.lock().unwrap_or_else(PoisonError::into_inner);
-    if guard.len() >= CONTENT_CAP && !guard.contains_key(&(parent, formula)) {
-        guard.clear();
+    if let Some(slot) = guard.get_mut(&(parent, formula)) {
+        slot.1 = true;
+        return slot.0;
     }
-    *guard
-        .entry((parent, formula))
-        .or_insert_with(|| NEXT_ID.fetch_add(1, Ordering::Relaxed))
+    if guard.len() >= CONTENT_CAP {
+        // Same second-chance discipline as the shard sweep: keep pairs looked
+        // up since the previous sweep (clearing their bit), evict the rest,
+        // and fall back to a full clear when everything is hot.
+        let before = guard.len();
+        guard.retain(|_, slot| std::mem::replace(&mut slot.1, false));
+        if guard.len() >= CONTENT_CAP {
+            guard.clear();
+        }
+        CONTENT_EVICTED.fetch_add((before - guard.len()) as u64, Ordering::Relaxed);
+        CONTENT_SWEEPS.fetch_add(1, Ordering::Relaxed);
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    guard.insert((parent, formula), (id, false));
+    id
 }
 
 #[cfg(test)]
@@ -308,6 +432,49 @@ mod tests {
         let s = canonical_interval(small.clone());
         assert_eq!(s, small);
         assert!(!s.ptr_eq(&small), "small sets are inline, never Arc-backed");
+    }
+
+    #[test]
+    fn hot_values_survive_sweeps_while_cold_traffic_is_evicted() {
+        let local: Interner<Formula> = Interner::new();
+        let hot = Formula::eq_const(v(70_010), 42);
+        let hot_handle = local.intern(hot.clone());
+        // Enough distinct cold values to drive every shard past capacity
+        // (twice over, so variance in hash distribution cannot save a shard
+        // from sweeping), re-touching the hot value often enough that its
+        // reference bit is always set when its shard sweeps.
+        let total = SHARD_COUNT * SHARD_CAP * 2;
+        for i in 0..total {
+            local.intern(Formula::eq_const(v(80_000 + (i as u64 % 64)), i as u64));
+            if i % 1024 == 0 {
+                let again = local.intern(hot.clone());
+                assert!(Interned::ptr_eq(&hot_handle, &again));
+            }
+        }
+        let stats = local.eviction_stats();
+        assert!(stats.sweeps > 0, "cold traffic must trigger sweeps");
+        assert!(stats.evicted > 0, "one-shot values must be evicted");
+        assert!(
+            local.len() < total,
+            "table stays bounded: {} resident after {} inserts",
+            local.len(),
+            total
+        );
+        // The hot value kept its slot — same canonical allocation, same id —
+        // so memo entries keyed on it never went stale.
+        let again = local.intern(hot);
+        assert!(Interned::ptr_eq(&hot_handle, &again));
+        assert_eq!(again.id(), hot_handle.id());
+    }
+
+    #[test]
+    fn process_wide_eviction_stats_are_readable() {
+        let stats = eviction_stats();
+        // Counters are monotone and only move together: an eviction implies at
+        // least one sweep on that table.
+        assert!(stats.formulas.evicted == 0 || stats.formulas.sweeps > 0);
+        assert!(stats.intervals.evicted == 0 || stats.intervals.sweeps > 0);
+        assert!(stats.content.evicted == 0 || stats.content.sweeps > 0);
     }
 
     #[test]

@@ -25,12 +25,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use symnet_core::engine::{ExecutionReport, PathStatus, SymNet};
-use symnet_core::network::ElementId;
+use symnet_core::network::{ElementId, Network};
 use symnet_core::state::ExecState;
 use symnet_core::value::Value;
 use symnet_core::ExecError;
+use symnet_models::scenarios::{department, DepartmentConfig, DepartmentTopology};
 use symnet_sefl::field::FieldRef;
 use symnet_sefl::fields::{ether_dst, ether_src, ip_dst, ip_src, ip_ttl, tcp_dst, tcp_src};
+use symnet_sefl::{Condition, ElementProgram, Instruction};
 use symnet_solver::{Model, Solver};
 
 /// A concrete test packet: the header fields the reference implementations
@@ -336,14 +338,110 @@ pub fn reference_dec_ip_ttl(packet: &ConcretePacket) -> ReferenceVerdict {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scenario generator: k-way ECMP fan-out in front of the department network
+// ---------------------------------------------------------------------------
+
+/// The `ecmp_fanout` scenario: element ids of interest plus the network.
+#[derive(Clone, Debug)]
+pub struct EcmpFanout {
+    /// The complete network (balancer + department).
+    pub network: Network,
+    /// The ECMP balancer; inject at its input port 0.
+    pub balancer: ElementId,
+    /// Ids of the department network behind the balancer.
+    pub topology: DepartmentTopology,
+    /// The fan-out width `k`.
+    pub ways: usize,
+}
+
+/// Builds a `k`-way ECMP load-balancer in front of the [`department`] network.
+///
+/// The balancer splits traffic over `ways` equal `TcpSrc` buckets (the
+/// classic source-port hash, modelled as an if-chain over disjoint ranges) and
+/// wires every output to the office access switch, so one symbolic injection
+/// at the balancer forks into `ways` disjoint flows that each traverse the
+/// full department topology. Path counts — and therefore engine work — scale
+/// linearly in `ways`, which makes the scenario a natural stress load and a
+/// multi-query workload generator for the concurrent serving layer (inject
+/// one query per bucket).
+///
+/// `ways` must be in `1..=256` so every bucket is non-empty.
+pub fn ecmp_fanout(ways: usize, config: DepartmentConfig) -> EcmpFanout {
+    assert!((1..=256).contains(&ways), "ways must be in 1..=256");
+    let (mut network, topology) = department(config);
+    let bucket = 65_536u64 / ways as u64;
+    // Build the if-chain back to front: the last bucket is the unconditional
+    // else branch, so it also absorbs the division remainder.
+    let mut code = Instruction::forward(ways - 1);
+    for i in (0..ways - 1).rev() {
+        code = Instruction::if_else(
+            Condition::lt(
+                symnet_sefl::fields::tcp_src().field(),
+                (i as u64 + 1) * bucket,
+            ),
+            Instruction::forward(i),
+            code,
+        );
+    }
+    let balancer =
+        network.add_element(ElementProgram::new("ecmp-lb", 1, ways).with_any_input_code(code));
+    for port in 0..ways {
+        network.add_link(balancer, port, topology.office_switch, 0);
+    }
+    EcmpFanout {
+        network,
+        balancer,
+        topology,
+        ways,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symnet_core::network::Network;
+    use symnet_sefl::packet::symbolic_tcp_packet;
+
+    #[test]
+    fn ecmp_fanout_splits_traffic_over_disjoint_buckets() {
+        let fanout = ecmp_fanout(
+            4,
+            DepartmentConfig {
+                access_switches: 3,
+                mac_entries: 30,
+                routes: 10,
+            },
+        );
+        let engine = SymNet::new(fanout.network.clone());
+        let report = engine.inject(fanout.balancer, 0, &symbolic_tcp_packet());
+        // Every bucket reaches the department and explores it independently,
+        // so the exploration forks at least `ways` delivered paths.
+        assert!(
+            report.delivered().count() >= fanout.ways,
+            "expected >= {} delivered paths, got {}",
+            fanout.ways,
+            report.delivered().count()
+        );
+        // A solo department run from the office switch; the ECMP run must
+        // explore a multiple of its paths.
+        let (solo_net, solo_topo) = department(DepartmentConfig {
+            access_switches: 3,
+            mac_entries: 30,
+            routes: 10,
+        });
+        let solo = SymNet::new(solo_net).inject(solo_topo.office_switch, 0, &symbolic_tcp_packet());
+        assert!(
+            report.path_count() >= fanout.ways * solo.path_count(),
+            "ECMP path count {} must scale the solo count {} by ways={}",
+            report.path_count(),
+            solo.path_count(),
+            fanout.ways
+        );
+    }
+
     use symnet_models::click::{
         dec_ip_ttl, host_ether_filter, host_ether_filter_buggy, ip_mirror, ip_mirror_buggy,
     };
-    use symnet_sefl::packet::symbolic_tcp_packet;
 
     fn engine_for(program: symnet_sefl::ElementProgram) -> (SymNet, ElementId) {
         let mut net = Network::new();

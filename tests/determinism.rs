@@ -346,3 +346,51 @@ fn service_max_paths_cap_is_exact_across_reverifications() {
         }
     }
 }
+
+#[test]
+fn served_concurrent_reports_are_byte_identical_to_solo_runs() {
+    // Serving-layer determinism: the same query, executed concurrently with
+    // five siblings on a shared pool of 1, 2 or 8 workers, must produce a
+    // canonical report byte-identical to a solo single-threaded
+    // `SymNet::inject` over the same snapshot. Per-query lineage tags and the
+    // EmitKey sort erase both intra-query scheduling and cross-query
+    // interleaving.
+    use symnet_suite::core::report::canonical_report_json_string;
+    use symnet_suite::core::{ServerConfig, SymNetServer};
+    use symnet_suite::models::scenarios::delta_fanout;
+
+    let fanout = delta_fanout(3, 2);
+    let solo = {
+        let engine = SymNet::with_config(
+            fanout.network.clone(),
+            ExecConfig::default().with_threads(1),
+        );
+        canonical_report_json_string(
+            &engine.inject(fanout.access, 0, &symbolic_tcp_packet()),
+            &fanout.network,
+        )
+    };
+    for workers in [1usize, 2, 8] {
+        let server = SymNetServer::start(
+            fanout.network.clone(),
+            ServerConfig::default().with_workers(workers),
+        );
+        let handle = server.handle();
+        let tickets: Vec<_> = (0..6)
+            .map(|_| {
+                handle
+                    .verify(fanout.access, 0, symbolic_tcp_packet())
+                    .expect("query admitted")
+            })
+            .collect();
+        for ticket in tickets {
+            let served = ticket.wait().expect("query completes");
+            assert_eq!(
+                canonical_report_json_string(&served.report, &fanout.network),
+                solo,
+                "served report diverged from solo at {workers} workers"
+            );
+        }
+        server.shutdown();
+    }
+}
