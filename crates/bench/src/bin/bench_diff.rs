@@ -30,6 +30,7 @@ const GATED_PREFIXES: &[&str] = &[
     "service_deltas/",
     "fig8_switch_models/",
     "full_scale/",
+    "generators/",
 ];
 
 /// Default regression threshold: mean more than 25% above baseline fails.

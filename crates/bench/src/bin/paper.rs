@@ -12,15 +12,33 @@
 //! (hundreds of thousands of MAC-table entries and prefixes). `serve
 //! --clients N` switches the serve experiment to the concurrent-serving load
 //! test (N closed-loop clients against the epoch-snapshot server).
+//!
+//! `fuzz --seed S --iters N` runs the differential fuzzing campaign instead
+//! of a paper experiment: N mutated scenarios rotating over the generator
+//! family, every delivered symbolic path concretized and replayed against the
+//! reference network (see `symnet_testgen::fuzz`). Exits non-zero on any
+//! symbolic-vs-concrete divergence, or if the built-in canary bug goes
+//! undetected. `fuzz` only runs when requested explicitly — it is not part
+//! of `all`.
 
 use symnet_bench::{
     fig8, sec83, sec84, sec85, serve, serve_concurrent, table1, table2, table3, table4, table5,
 };
+use symnet_testgen::fuzz::{run_canary, run_fuzz, FuzzConfig};
+
+fn parse_u64(value: &str) -> Option<u64> {
+    match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => value.parse().ok(),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut full = false;
     let mut clients: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut iters: Option<usize> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -40,9 +58,39 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--seed" {
+            seed = iter.next().and_then(|v| parse_u64(v));
+            if seed.is_none() {
+                eprintln!("--seed expects an integer (decimal or 0x-hex)");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = parse_u64(v);
+            if seed.is_none() {
+                eprintln!("--seed expects an integer (decimal or 0x-hex)");
+                std::process::exit(2);
+            }
+        } else if arg == "--iters" {
+            iters = iter.next().and_then(|v| v.parse().ok());
+            if iters.is_none() {
+                eprintln!("--iters expects a positive integer");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = arg.strip_prefix("--iters=") {
+            match v.parse() {
+                Ok(n) => iters = Some(n),
+                Err(_) => {
+                    eprintln!("--iters expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
         } else if !arg.starts_with("--") {
             selected.push(arg.as_str());
         }
+    }
+
+    if selected.contains(&"fuzz") {
+        std::process::exit(fuzz_campaign(seed, iters));
     }
     let all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
@@ -108,5 +156,52 @@ fn main() {
                 println!("{}", serve(leaves, macs_per_leaf).render());
             }
         }
+    }
+}
+
+/// Runs the differential fuzzing campaign; returns the process exit code.
+fn fuzz_campaign(seed: Option<u64>, iters: Option<usize>) -> i32 {
+    let config = FuzzConfig {
+        seed: seed.unwrap_or(FuzzConfig::default().seed),
+        iters: iters.unwrap_or(500),
+        ..FuzzConfig::default()
+    };
+
+    // The canary proves the oracle can see: a planted TTL double-decrement
+    // must be reported before any clean campaign result is believable.
+    match run_canary() {
+        Ok(failure) => println!(
+            "canary: planted TTL bug detected ({})",
+            failure.detail.split(':').next_back().unwrap_or("").trim()
+        ),
+        Err(e) => {
+            eprintln!("canary FAILED: {e}");
+            return 1;
+        }
+    }
+
+    println!(
+        "fuzz campaign: seed {:#x}, {} iterations, up to {} mutations/case",
+        config.seed, config.iters, config.max_mutations
+    );
+    let report = run_fuzz(&config);
+    for (generator, cases) in &report.per_generator {
+        println!("  {generator:<20} {cases} cases");
+    }
+    println!(
+        "  {} cases, {} delivered paths replayed, {} mutations applied, {} failure(s)",
+        report.cases,
+        report.paths_checked,
+        report.mutations_applied,
+        report.failures.len()
+    );
+    if report.is_clean() {
+        println!("fuzz: every symbolic path agreed with its concrete replay");
+        0
+    } else {
+        for failure in &report.failures {
+            eprintln!("{failure}");
+        }
+        1
     }
 }

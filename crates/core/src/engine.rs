@@ -1446,7 +1446,9 @@ pub(crate) fn finalize_report(
 }
 
 /// The metadata namespace prefix for local allocations of an element instance.
-fn local_prefix(network: &Network, element: ElementId) -> String {
+/// Public so that reference executors (the differential fuzzer's concrete
+/// replay) resolve local metadata exactly like the symbolic engine does.
+pub fn local_prefix(network: &Network, element: ElementId) -> String {
     format!("local:{}#{}:", network.element(element).name, element.0)
 }
 
@@ -1681,8 +1683,10 @@ fn simple(
 }
 
 /// Rewrites metadata references named `from` to `to` inside an instruction
-/// tree — how `For` binds its loop variable.
-fn substitute_meta(instr: &Instruction, from: &str, to: &str) -> Instruction {
+/// tree — how `For` binds its loop variable. Public so concrete replay
+/// interpreters unfold `For` loops with the exact binding semantics of the
+/// symbolic engine.
+pub fn substitute_meta(instr: &Instruction, from: &str, to: &str) -> Instruction {
     use symnet_sefl::cond::Condition;
     use symnet_sefl::expr::Expr;
 

@@ -135,6 +135,29 @@ impl Network {
         self.add_link(b, b_out, a, a_in);
     }
 
+    /// Re-points an *existing* link at a new destination input port, keeping
+    /// the source output unchanged — the topology-mutation primitive of the
+    /// differential fuzzer (a cabling change or failover reroute). Panics if
+    /// `(from, from_output)` is not currently linked or the target input port
+    /// does not exist, both of which are mutation-generator bugs.
+    pub fn rewire_link(
+        &mut self,
+        from: ElementId,
+        from_output: usize,
+        to: ElementId,
+        to_input: usize,
+    ) {
+        assert!(
+            to_input < self.element(to).input_count,
+            "element {to} has no input port {to_input}"
+        );
+        let slot = self
+            .links
+            .get_mut(&(from, from_output))
+            .unwrap_or_else(|| panic!("output port {from_output} of element {from} is not linked"));
+        *slot = (to, to_input);
+    }
+
     /// The destination of the link leaving `(element, output_port)`, if any.
     pub fn link_from(&self, element: ElementId, output_port: usize) -> Option<(ElementId, usize)> {
         self.links.get(&(element, output_port)).copied()

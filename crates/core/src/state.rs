@@ -443,6 +443,63 @@ impl ExecState {
     }
 
     // ------------------------------------------------------------------
+    // Whole-state value transforms (differential-testing support)
+    // ------------------------------------------------------------------
+
+    /// Rewrites **every** stored value — all stack levels of all header
+    /// allocations and metadata entries, not just the live tops. This is the
+    /// concretization hook of the differential fuzzer: mapping each
+    /// [`Value::Sym`] to the concrete value a solver model assigns turns a
+    /// symbolic injected state into the concrete packet a replay interpreter
+    /// can execute, *including* the values masked by later encapsulations
+    /// (which a top-of-stack walk would miss and a decapsulation would then
+    /// re-expose).
+    pub fn map_values(&mut self, mut f: impl FnMut(&Value) -> Value) {
+        let addresses: Vec<i64> = self.headers.iter().map(|(a, _)| *a).collect();
+        for address in addresses {
+            if let Some(stack) = self.headers.get_mut(&address) {
+                for slot in stack.iter_mut() {
+                    slot.value = f(&slot.value);
+                }
+            }
+        }
+        let keys: Vec<String> = self.meta.iter().map(|(k, _)| k.clone()).collect();
+        for key in keys {
+            if let Some(stack) = self.meta.get_mut(&key) {
+                for slot in stack.iter_mut() {
+                    slot.value = f(&slot.value);
+                }
+            }
+        }
+    }
+
+    /// The largest symbolic-variable id stored anywhere in this state (again
+    /// over all stack levels), or `None` if the state is fully concrete.
+    /// Replay interpreters use `max_symbol_id() + 1` on the injected state as
+    /// the first id the engine's per-path allocator would hand out, which is
+    /// what keeps a replayed `Expr::Symbolic` aligned with the variable the
+    /// symbolic execution allocated at the same program point.
+    pub fn max_symbol_id(&self) -> Option<u64> {
+        let header_ids = self
+            .headers
+            .iter()
+            .flat_map(|(_, stack)| stack.iter())
+            .filter_map(|slot| match slot.value {
+                Value::Sym { var, .. } => Some(var.id.0),
+                Value::Concrete(_) => None,
+            });
+        let meta_ids = self
+            .meta
+            .iter()
+            .flat_map(|(_, stack)| stack.iter())
+            .filter_map(|slot| match slot.value {
+                Value::Sym { var, .. } => Some(var.id.0),
+                Value::Concrete(_) => None,
+            });
+        header_ids.chain(meta_ids).max()
+    }
+
+    // ------------------------------------------------------------------
     // Field resolution (headers and metadata uniformly)
     // ------------------------------------------------------------------
 

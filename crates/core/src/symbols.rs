@@ -16,6 +16,13 @@ impl VarAllocator {
         VarAllocator::default()
     }
 
+    /// Creates an allocator whose first fresh variable will have id `next` —
+    /// how a replay interpreter resumes the id sequence of a symbolic run
+    /// (ids `0..next` belong to the injected packet's construction).
+    pub fn starting_at(next: u64) -> Self {
+        VarAllocator { next }
+    }
+
     /// Returns a fresh symbolic variable of the given bit width.
     pub fn fresh(&mut self, width: u16) -> SymVar {
         let id = self.next;

@@ -264,6 +264,53 @@ impl RuleTables {
         self.elements.get(&element).map(Registered::compile)
     }
 
+    /// Iterates over every registered element as `(id, name, table view)` —
+    /// the read-only inventory the fuzzer's mutation generator samples from
+    /// (which elements exist, what kind of table each has, and which entries
+    /// a withdraw/age delta could target).
+    pub fn registered(&self) -> impl Iterator<Item = (ElementId, &str, TableView<'_>)> {
+        self.elements
+            .iter()
+            .map(|(id, r)| (*id, r.name.as_str(), r.tables.view()))
+    }
+
+    /// A read-only view of one element's table, if registered.
+    pub fn view(&self, element: ElementId) -> Option<TableView<'_>> {
+        self.elements.get(&element).map(|r| r.tables.view())
+    }
+
+    /// Permutes the entry order of `element`'s table with a seeded
+    /// Fisher–Yates shuffle and publishes the recompiled program — a
+    /// *semantics-preserving* mutation: MAC tables and LPM FIBs are sets, so
+    /// the recompiled program must route identically even though its
+    /// syntactic shape (fork order, `Or` operand order, exclusion lists)
+    /// changes. The differential fuzzer uses this to shake out any
+    /// order-dependence in compilation or exploration.
+    ///
+    /// `Ok(None)` when nothing was published: the element's table has fewer
+    /// than two entries or is not entry-ordered (NAT configs), or the drawn
+    /// permutation was the identity.
+    pub fn shuffle_with<R>(
+        &mut self,
+        element: ElementId,
+        seed: u64,
+        publish: impl FnOnce(ElementId, ElementProgram) -> R,
+    ) -> Result<Option<R>, DeltaError> {
+        let registered = self
+            .elements
+            .get_mut(&element)
+            .ok_or(DeltaError::UnknownElement(element))?;
+        let changed = match &mut registered.tables {
+            ElementTables::Switch { table, .. } => shuffle_entries(&mut table.entries, seed),
+            ElementTables::Router { fib, .. } => shuffle_entries(&mut fib.entries, seed),
+            ElementTables::Nat { .. } | ElementTables::Acl { .. } => false,
+        };
+        if !changed {
+            return Ok(None);
+        }
+        Ok(Some(publish(element, registered.compile())))
+    }
+
     /// Applies a delta: mutates the table, recompiles the element's program
     /// and hands it to the service (which invalidates the affected path
     /// suffixes).
@@ -312,6 +359,46 @@ impl RuleTables {
     }
 }
 
+/// A read-only view of one registered element's rule table, typed by kind.
+#[derive(Clone, Copy, Debug)]
+pub enum TableView<'a> {
+    /// A switch's MAC table.
+    Switch(&'a MacTable),
+    /// A router's FIB.
+    Router(&'a Fib),
+    /// A NAT's binding configuration.
+    Nat(&'a NatConfig),
+    /// A filter's ACL rule list.
+    Acl(&'a AclTable),
+}
+
+/// Applies a seeded Fisher–Yates shuffle to `entries`; `true` iff the order
+/// actually changed. Uses a splitmix64 stream so the models crate stays free
+/// of the `rand` dependency while the permutation remains a pure function of
+/// the seed.
+fn shuffle_entries<T>(entries: &mut [T], seed: u64) -> bool {
+    if entries.len() < 2 {
+        return false;
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut changed = false;
+    for i in (1..entries.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        if i != j {
+            entries.swap(i, j);
+            changed = true;
+        }
+    }
+    changed
+}
+
 impl Registered {
     fn compile(&self) -> ElementProgram {
         match &self.tables {
@@ -334,6 +421,16 @@ impl Registered {
 }
 
 impl ElementTables {
+    /// The read-only view of this table.
+    fn view(&self) -> TableView<'_> {
+        match self {
+            ElementTables::Switch { table, .. } => TableView::Switch(table),
+            ElementTables::Router { fib, .. } => TableView::Router(fib),
+            ElementTables::Nat { config } => TableView::Nat(config),
+            ElementTables::Acl { table } => TableView::Acl(table),
+        }
+    }
+
     /// Applies the delta to the table; `Ok(true)` iff the table changed.
     fn mutate(&mut self, element: ElementId, delta: &Delta) -> Result<bool, DeltaError> {
         let wrong = |expected: &'static str| DeltaError::WrongTable { element, expected };

@@ -29,7 +29,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use symnet_core::network::Network;
+use symnet_core::network::{ElementId, Network};
 use symnet_models::{router::router_egress, switch::switch_egress, Fib, MacTable};
 use symnet_sefl::{ip_to_number, mac_to_number};
 
@@ -225,10 +225,24 @@ pub fn format_fib(fib: &Fib) -> String {
 /// down — so injecting at the root forks multiplicatively down the tree and
 /// the up/down cycles exercise the engine's loop detection.
 pub fn random_switch_tree(seed: u64, switches: usize, entries_per_switch: usize) -> Topology {
+    random_switch_tree_with_tables(seed, switches, entries_per_switch).0
+}
+
+/// [`random_switch_tree`] plus the MAC table each switch was compiled from,
+/// as `(element, name, table)` triples — what the differential fuzzer needs
+/// to register the topology's tables for typed-delta mutation. Draws from the
+/// RNG in exactly the same order as [`random_switch_tree`], so both produce
+/// the same topology for the same seed.
+pub fn random_switch_tree_with_tables(
+    seed: u64,
+    switches: usize,
+    entries_per_switch: usize,
+) -> (Topology, Vec<(ElementId, String, MacTable)>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut network = Network::new();
     let mut elements = BTreeMap::new();
     let mut ids = Vec::new();
+    let mut tables = Vec::new();
     // MACs come from a shared pool (as hosts in one L2 domain would): the
     // per-port groups of neighbouring switches then overlap, so a packet's
     // accumulated constraints stay satisfiable across several hops instead of
@@ -243,8 +257,9 @@ pub fn random_switch_tree(seed: u64, switches: usize, entries_per_switch: usize)
         }
         let name = format!("sw{s}");
         let id = network.add_element(switch_egress(&name, &table));
-        elements.insert(name, id);
+        elements.insert(name.clone(), id);
         ids.push(id);
+        tables.push((id, name, table));
     }
     // Output ports 1..=3 of each switch are available for down-links (port 0
     // always points up); a parent with more than three children leaves the
@@ -258,7 +273,7 @@ pub fn random_switch_tree(seed: u64, switches: usize, entries_per_switch: usize)
             next_down_port[parent] += 1;
         }
     }
-    Topology { network, elements }
+    (Topology { network, elements }, tables)
 }
 
 #[cfg(test)]

@@ -1,0 +1,407 @@
+//! The scenario-generator family of the differential fuzzer.
+//!
+//! Five seeded generators share one [`GeneratorConfig`]: the two pre-existing
+//! topologies (`random_switch_tree`, `ecmp_fanout`) plus three new families —
+//! [`fat_tree`] datacenter fabrics, [`isp_backbone`] chains with large LPM
+//! route tables, and [`tunnel_nat_chain`] stacks of NAT and IP-in-IP hops.
+//! Every generator emits a [`FuzzScenario`]: the network under test, an
+//! identical *reference* network the concrete replay runs against, the
+//! [`RuleTables`] registry the mutation layer perturbs, and the injection
+//! point + packet of the scenario's canonical query.
+
+use symnet_core::network::{ElementId, Network};
+use symnet_models::delta::{RouterModel, RuleTables, SwitchModel};
+use symnet_models::nat::{nat, NatConfig};
+use symnet_models::router::{router_egress, router_egress_with_ttl, Fib};
+use symnet_models::scenarios::DepartmentConfig;
+use symnet_models::tunnel::{ipip_decap, ipip_encap, mtu_filter};
+use symnet_sefl::fields::ip_dst;
+use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
+use symnet_sefl::{Condition, Instruction};
+
+/// Shared seeding/sizing knobs of every scenario generator. The same config
+/// means the same scenario, bit for bit — the reproducibility contract every
+/// fuzz failure report relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Seed for all randomized choices (topology shape, table contents).
+    pub seed: u64,
+    /// Primary size knob: switch count, fat-tree arity `k`, backbone length,
+    /// tunnel/NAT stage count or ECMP ways, depending on the generator.
+    pub size: usize,
+    /// Rule-table entries per element (MAC entries, FIB routes).
+    pub entries: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0xC0FFEE,
+            size: 4,
+            entries: 12,
+        }
+    }
+}
+
+/// One generated fuzz case: a network, its replay twin and the mutation
+/// surface.
+///
+/// `network` and `reference` start identical; typed deltas are published into
+/// *both*, so they stay identical — except for the deliberately-buggy canary
+/// scenario, which swaps a defective program into `network` only (the model
+/// under test) while `reference` keeps the correct one.
+pub struct FuzzScenario {
+    /// Generator family + config fingerprint, for reports.
+    pub name: String,
+    /// The network the symbolic engine explores (the model under test).
+    pub network: Network,
+    /// The network the concrete replay executes (identical unless a canary
+    /// bug was planted).
+    pub reference: Network,
+    /// Registered rule tables — the typed-delta mutation surface.
+    pub tables: RuleTables,
+    /// Injection element of the scenario's canonical query.
+    pub inject_at: ElementId,
+    /// Injection input port.
+    pub inject_port: usize,
+    /// The symbolic packet-construction block to inject.
+    pub packet: Instruction,
+    /// Hop budget for both the symbolic exploration and the replay (mutated
+    /// topologies may loop; the budget bounds both sides identically).
+    pub max_hops: usize,
+}
+
+/// The five generator families, in campaign rotation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// Seeded random tree of egress switches (shared MAC pool).
+    RandomSwitchTree,
+    /// k-way ECMP balancer in front of the department network.
+    EcmpFanout,
+    /// Three-layer fat-tree fabric of TTL-decrementing routers.
+    FatTree,
+    /// Chain of backbone routers with large seeded LPM tables.
+    IspBackbone,
+    /// NAT cascade feeding a nested IP-in-IP tunnel stack.
+    TunnelNatChain,
+}
+
+impl GeneratorKind {
+    /// Every generator family, in the order the fuzz campaign rotates
+    /// through them.
+    pub const ALL: [GeneratorKind; 5] = [
+        GeneratorKind::RandomSwitchTree,
+        GeneratorKind::EcmpFanout,
+        GeneratorKind::FatTree,
+        GeneratorKind::IspBackbone,
+        GeneratorKind::TunnelNatChain,
+    ];
+
+    /// Stable name used in reports and failure reproduction lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GeneratorKind::RandomSwitchTree => "random_switch_tree",
+            GeneratorKind::EcmpFanout => "ecmp_fanout",
+            GeneratorKind::FatTree => "fat_tree",
+            GeneratorKind::IspBackbone => "isp_backbone",
+            GeneratorKind::TunnelNatChain => "tunnel_nat_chain",
+        }
+    }
+
+    /// Builds this family's scenario for `config`.
+    pub fn build(&self, config: &GeneratorConfig) -> FuzzScenario {
+        match self {
+            GeneratorKind::RandomSwitchTree => random_switch_tree_scenario(config),
+            GeneratorKind::EcmpFanout => ecmp_fanout_scenario(config),
+            GeneratorKind::FatTree => fat_tree(config),
+            GeneratorKind::IspBackbone => isp_backbone(config),
+            GeneratorKind::TunnelNatChain => tunnel_nat_chain(config),
+        }
+    }
+}
+
+fn finish(
+    name: String,
+    network: Network,
+    tables: RuleTables,
+    inject_at: ElementId,
+    packet: Instruction,
+    max_hops: usize,
+) -> FuzzScenario {
+    FuzzScenario {
+        name,
+        reference: network.clone(),
+        network,
+        tables,
+        inject_at,
+        inject_port: 0,
+        packet,
+        max_hops,
+    }
+}
+
+/// The seeded random switch tree of `symnet-parsers`, with every switch's MAC
+/// table registered for mutation. `size` = switch count, `entries` = MAC
+/// entries per switch.
+pub fn random_switch_tree_scenario(config: &GeneratorConfig) -> FuzzScenario {
+    let switches = config.size.max(2);
+    let (topology, mac_tables) =
+        symnet_parsers::random_switch_tree_with_tables(config.seed, switches, config.entries);
+    let mut tables = RuleTables::new();
+    for (id, name, table) in mac_tables {
+        tables.register_switch(id, &name, table, SwitchModel::Egress);
+    }
+    let root = topology.elements["sw0"];
+    finish(
+        format!("random_switch_tree(seed={}, n={switches})", config.seed),
+        topology.network,
+        tables,
+        root,
+        symbolic_tcp_packet(),
+        24,
+    )
+}
+
+/// The k-way ECMP balancer in front of the department network. `size` = ways;
+/// `entries` sizes the department's MAC tables. The department scenario
+/// compiles its own tables internally, so this family's mutation surface is
+/// topological (link rewires) rather than typed deltas.
+pub fn ecmp_fanout_scenario(config: &GeneratorConfig) -> FuzzScenario {
+    let ways = config.size.clamp(1, 256);
+    let fanout = crate::ecmp_fanout(
+        ways,
+        DepartmentConfig {
+            access_switches: 3,
+            mac_entries: config.entries.max(4),
+            routes: config.entries.max(4),
+        },
+    );
+    finish(
+        format!("ecmp_fanout(ways={ways})"),
+        fanout.network,
+        RuleTables::new(),
+        fanout.balancer,
+        symbolic_tcp_packet(),
+        24,
+    )
+}
+
+/// Host address of slot `h` behind edge `e` of pod `p`: `10.p.e.h`.
+pub fn fat_tree_host_ip(pod: usize, edge: usize, host: usize) -> u32 {
+    (10u32 << 24) | ((pod as u32) << 16) | ((edge as u32) << 8) | host as u32
+}
+
+/// A `k`-ary fat-tree fabric (`k` even): `(k/2)²` core routers, `k` pods of
+/// `k/2` aggregation + `k/2` edge routers each, with `k/2` host ports per
+/// edge. All routers run [`router_egress_with_ttl`], so even mutated
+/// (mis-cabled or misrouted) fabrics terminate: every hop burns TTL.
+///
+/// Addressing is the classic scheme — host `h` behind edge `e` of pod `p` is
+/// `10.p.e.h/32` on the edge, `10.p.e.0/24` on the pod's aggregation layer,
+/// `10.p.0.0/16` on the cores — and the injected packet is constrained to
+/// the union of real host prefixes, so the unmutated fabric delivers every
+/// path at a host port (no default-route ping-pong).
+///
+/// `size` is `k`, rounded down to an even number and clamped to `2..=6`.
+pub fn fat_tree(config: &GeneratorConfig) -> FuzzScenario {
+    let k = (config.size.clamp(2, 6) / 2) * 2;
+    let half = k / 2;
+    let mut network = Network::new();
+    let mut tables = RuleTables::new();
+    let register = |network: &mut Network, tables: &mut RuleTables, name: String, fib: Fib| {
+        let id = network.add_element(router_egress_with_ttl(&name, &fib));
+        tables.register_router(id, &name, fib, RouterModel::EgressTtl);
+        id
+    };
+
+    // Core routers: port p goes to pod p; core (i, j) attaches to the j-th
+    // aggregation router of every pod.
+    let cores: Vec<ElementId> = (0..half * half)
+        .map(|c| {
+            let mut fib = Fib::new(k);
+            for p in 0..k {
+                fib.add((10u32 << 24) | ((p as u32) << 16), 16, p);
+            }
+            register(&mut network, &mut tables, format!("core{c}"), fib)
+        })
+        .collect();
+
+    // Pods: aggregation ports 0..half go down (to edges), half..k go up (to
+    // cores); edge ports 0..half are host ports, half..k go up (to aggs).
+    let mut edges = Vec::new();
+    for p in 0..k {
+        let aggs: Vec<ElementId> = (0..half)
+            .map(|a| {
+                let mut fib = Fib::new(k);
+                for e in 0..half {
+                    fib.add(fat_tree_host_ip(p, e, 0) & 0xffff_ff00, 24, e);
+                }
+                // Default upward; which uplink varies per agg so mutated
+                // traffic spreads over the core layer.
+                fib.add(0, 0, half + (a % half));
+                register(&mut network, &mut tables, format!("agg{p}_{a}"), fib)
+            })
+            .collect();
+        for e in 0..half {
+            let mut fib = Fib::new(k);
+            for h in 0..half {
+                fib.add(fat_tree_host_ip(p, e, h), 32, h);
+            }
+            // The rest of the edge's own /24 lands on host port 0; everything
+            // else goes up.
+            fib.add(fat_tree_host_ip(p, e, 0) & 0xffff_ff00, 24, 0);
+            fib.add(0, 0, half + (e % half));
+            let edge = register(&mut network, &mut tables, format!("edge{p}_{e}"), fib);
+            edges.push(edge);
+            for (a, agg) in aggs.iter().enumerate() {
+                // Edge uplink half+a <-> agg downlink e, symmetric inputs.
+                network.add_duplex_link(edge, half + a, half + a, *agg, e, e);
+            }
+        }
+        for (a, agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                let core = cores[a * half + j];
+                // Agg uplink half+j <-> core port p, symmetric inputs.
+                network.add_duplex_link(*agg, half + j, half + j, core, p, p);
+            }
+        }
+    }
+
+    // Constrain the symbolic destination to the real host space so every
+    // unmutated path terminates at a host port.
+    let mut host_prefixes = Vec::new();
+    for p in 0..k {
+        for e in 0..half {
+            for h in 0..half {
+                host_prefixes.push(Condition::matches_ipv4_prefix(
+                    ip_dst().field(),
+                    u64::from(fat_tree_host_ip(p, e, h)),
+                    32,
+                ));
+            }
+        }
+    }
+    let packet = Instruction::block(vec![
+        symbolic_tcp_packet(),
+        Instruction::constrain(Condition::or(host_prefixes)),
+    ]);
+    finish(
+        format!("fat_tree(k={k})"),
+        network,
+        tables,
+        edges[0],
+        packet,
+        24,
+    )
+}
+
+/// A linear ISP backbone: `size` core routers in a chain, each with a large
+/// seeded LPM table (`entries` routes over /16 and /24 prefixes). Port 0 is
+/// the west neighbour, port 1 the east neighbour, ports 2..4 are customer
+/// ports (unlinked, so traffic routed there is delivered). The routers do
+/// *not* decrement TTL, so bounced traffic is caught by the engine's loop
+/// detection instead — the complementary termination regime to [`fat_tree`].
+pub fn isp_backbone(config: &GeneratorConfig) -> FuzzScenario {
+    let len = config.size.clamp(2, 16);
+    let entries = config.entries.max(4);
+    let mut network = Network::new();
+    let mut tables = RuleTables::new();
+    let mut seed = config.seed;
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let routers: Vec<ElementId> = (0..len)
+        .map(|r| {
+            let mut fib = Fib::new(5);
+            // Default route toward the east end of the chain.
+            fib.add(0, 0, 1);
+            for _ in 0..entries {
+                let h = next();
+                if h % 8 == 0 {
+                    fib.add((h >> 16) as u32 & 0xffff_0000, 16, (h % 5) as usize);
+                } else {
+                    fib.add(h as u32 & 0xffff_ff00, 24, ((h >> 32) % 5) as usize);
+                }
+            }
+            let name = format!("bb{r}");
+            let id = network.add_element(router_egress(&name, &fib));
+            tables.register_router(id, &name, fib, RouterModel::Egress);
+            id
+        })
+        .collect();
+    for w in 0..len - 1 {
+        // East link of router w <-> west link of router w+1.
+        network.add_duplex_link(routers[w], 1, 1, routers[w + 1], 0, 0);
+    }
+    finish(
+        format!("isp_backbone(seed={}, len={len})", config.seed),
+        network,
+        tables,
+        routers[0],
+        symbolic_l3_tcp_packet(),
+        24,
+    )
+}
+
+/// A NAT cascade feeding a nested IP-in-IP tunnel stack:
+///
+/// ```text
+/// nat0 → … → natN → encap0 → … → encapD → decapD → … → decap0 → mtu → (out)
+/// ```
+///
+/// `size` NAT stages rewrite the source address/port (each allocating a fresh
+/// symbolic port — the scenario that exercises the replay's fresh-variable
+/// oracle), then `min(size, 3)` nested encapsulations push and pop outer
+/// headers (the scenario that exercises full-stack concretization: inner
+/// header values are masked mid-path and re-exposed by the decaps). The
+/// injected packet is L3-only, like the paper's tunnel experiments.
+pub fn tunnel_nat_chain(config: &GeneratorConfig) -> FuzzScenario {
+    let stages = config.size.clamp(1, 6);
+    let depth = stages.min(3);
+    let mut network = Network::new();
+    let mut tables = RuleTables::new();
+    let mut chain: Vec<(ElementId, usize)> = Vec::new();
+
+    for s in 0..stages {
+        let cfg = NatConfig {
+            public_ip: 0xc0a8_0100 + s as u32,
+            port_low: 1024 + (s as u16) * 64,
+            port_high: 60_000,
+        };
+        let name = format!("nat{s}");
+        let id = network.add_element(nat(&name, cfg));
+        tables.register_nat(id, &name, cfg);
+        chain.push((id, 0)); // outbound side: input 0 → output 0
+    }
+    for d in 0..depth {
+        let src = 0x0a64_0000 + d as u32;
+        let dst = 0x0a65_0000 + d as u32;
+        let id = network.add_element(ipip_encap(&format!("encap{d}"), src, dst));
+        chain.push((id, 0));
+    }
+    for d in (0..depth).rev() {
+        let dst = 0x0a65_0000 + d as u32;
+        let id = network.add_element(ipip_decap(&format!("decap{d}"), dst));
+        chain.push((id, 0));
+    }
+    let mtu = network.add_element(mtu_filter("mtu", 1536));
+    chain.push((mtu, 0));
+    for w in 0..chain.len() - 1 {
+        let (from, out) = chain[w];
+        let (to, _) = chain[w + 1];
+        network.add_link(from, out, to, 0);
+    }
+    let first = chain[0].0;
+    finish(
+        format!("tunnel_nat_chain(stages={stages}, depth={depth})"),
+        network,
+        tables,
+        first,
+        symbolic_l3_tcp_packet(),
+        (stages + 2 * depth + 2).max(8),
+    )
+}

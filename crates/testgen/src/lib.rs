@@ -21,6 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
+pub mod generators;
+pub mod replay;
+
+pub use generators::{FuzzScenario, GeneratorConfig, GeneratorKind};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -142,7 +148,9 @@ pub fn concretize_state(state: &ExecState, model: &Model) -> Result<ConcretePack
 
 /// Deterministic default value for a symbolic variable the solver left
 /// unconstrained: distinct per variable, clipped to the variable's width.
-fn default_value(var: symnet_solver::SymVar) -> u64 {
+/// Shared with the replay interpreter so both sides of a differential
+/// comparison concretize an unconstrained variable identically.
+pub(crate) fn default_value(var: symnet_solver::SymVar) -> u64 {
     (0x1009 + var.id.0.wrapping_mul(7919)) & var.max_value()
 }
 
@@ -370,9 +378,25 @@ pub struct EcmpFanout {
 pub fn ecmp_fanout(ways: usize, config: DepartmentConfig) -> EcmpFanout {
     assert!((1..=256).contains(&ways), "ways must be in 1..=256");
     let (mut network, topology) = department(config);
+    let balancer = network.add_element(
+        ElementProgram::new("ecmp-lb", 1, ways).with_any_input_code(ecmp_balancer_code(ways)),
+    );
+    for port in 0..ways {
+        network.add_link(balancer, port, topology.office_switch, 0);
+    }
+    EcmpFanout {
+        network,
+        balancer,
+        topology,
+        ways,
+    }
+}
+
+/// The disjoint-`TcpSrc`-bucket if-chain shared by [`ecmp_fanout`] and the
+/// [`generators`] family: built back to front, so the last bucket is the
+/// unconditional else branch and absorbs the division remainder.
+pub(crate) fn ecmp_balancer_code(ways: usize) -> Instruction {
     let bucket = 65_536u64 / ways as u64;
-    // Build the if-chain back to front: the last bucket is the unconditional
-    // else branch, so it also absorbs the division remainder.
     let mut code = Instruction::forward(ways - 1);
     for i in (0..ways - 1).rev() {
         code = Instruction::if_else(
@@ -384,17 +408,7 @@ pub fn ecmp_fanout(ways: usize, config: DepartmentConfig) -> EcmpFanout {
             code,
         );
     }
-    let balancer =
-        network.add_element(ElementProgram::new("ecmp-lb", 1, ways).with_any_input_code(code));
-    for port in 0..ways {
-        network.add_link(balancer, port, topology.office_switch, 0);
-    }
-    EcmpFanout {
-        network,
-        balancer,
-        topology,
-        ways,
-    }
+    code
 }
 
 #[cfg(test)]

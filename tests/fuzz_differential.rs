@@ -1,0 +1,96 @@
+//! End-to-end coverage of the differential fuzzing harness
+//! (`symnet_testgen::fuzz`): a small clean campaign over every generator
+//! family, seed-reproducibility of individual cases, and the canary — a
+//! deliberately planted TTL double-decrement that the oracle *must* report
+//! with a reproducible, minimized failure.
+
+use symnet_suite::testgen::fuzz::{run_canary, run_case, run_fuzz, FuzzConfig};
+use symnet_suite::testgen::generators::{GeneratorConfig, GeneratorKind};
+
+fn small_config() -> FuzzConfig {
+    FuzzConfig {
+        seed: 0xD1FF_5EED,
+        iters: 10, // two cases per generator family
+        generator: GeneratorConfig {
+            seed: 0, // replaced per-case
+            size: 4,
+            entries: 8,
+        },
+        max_mutations: 3,
+    }
+}
+
+#[test]
+fn small_campaign_is_clean_across_all_generators() {
+    let report = run_fuzz(&small_config());
+    assert_eq!(report.cases, 10);
+    assert_eq!(
+        report.per_generator.len(),
+        GeneratorKind::ALL.len(),
+        "campaign must rotate over every generator family: {:?}",
+        report.per_generator
+    );
+    assert!(
+        report.paths_checked > 0,
+        "the campaign must replay at least one delivered path"
+    );
+    assert!(
+        report.is_clean(),
+        "correct models must never diverge from their replay: {:#?}",
+        report.failures
+    );
+}
+
+#[test]
+fn campaigns_are_seed_deterministic() {
+    let a = run_fuzz(&small_config());
+    let b = run_fuzz(&small_config());
+    assert_eq!(a.cases, b.cases);
+    assert_eq!(a.paths_checked, b.paths_checked);
+    assert_eq!(a.mutations_applied, b.mutations_applied);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
+#[test]
+fn cases_are_seed_reproducible() {
+    let config = small_config();
+    for kind in GeneratorKind::ALL {
+        let first = run_case(kind, 0x5EED_0001, &config);
+        let second = run_case(kind, 0x5EED_0001, &config);
+        assert_eq!(
+            first.paths_checked,
+            second.paths_checked,
+            "{} must replay the same paths for the same case seed",
+            kind.name()
+        );
+        assert_eq!(first.mutations_applied, second.mutations_applied);
+        assert_eq!(first.failure.is_some(), second.failure.is_some());
+    }
+}
+
+#[test]
+fn canary_ttl_bug_is_detected() {
+    let failure = run_canary().expect("the oracle must report the planted TTL double-decrement");
+    assert!(
+        failure.detail.contains("IpTtl"),
+        "the failure must name the diverging field: {}",
+        failure.detail
+    );
+    assert!(
+        failure.mutations.is_empty() && failure.minimized.is_empty(),
+        "the canary diverges with zero mutations, so the minimized set is empty"
+    );
+    // The report must render a reproduction line.
+    let rendered = failure.to_string();
+    assert!(rendered.contains("reproduce"), "{rendered}");
+}
+
+#[test]
+fn canary_detection_is_reproducible() {
+    let first = run_canary().expect("canary run 1");
+    let second = run_canary().expect("canary run 2");
+    assert_eq!(
+        first.detail, second.detail,
+        "the same planted bug must produce the same minimized report"
+    );
+}

@@ -1,0 +1,86 @@
+//! Stress coverage over the `isp_backbone` scenario generator: a chain of
+//! core routers with large seeded LPM tables and *no* TTL decrement — bounced
+//! traffic terminates through the engine's loop detection instead, the
+//! complementary termination regime to `tests/stress_fat_tree.rs`. Path
+//! counts must grow with chain length (each router adds customer ports and
+//! more specific routes), every delivered path must be satisfiable, and the
+//! canonical report must be byte-identical across worker counts.
+
+use symnet_suite::core::engine::{ExecConfig, SymNet};
+use symnet_suite::core::report::canonical_report_json_string;
+use symnet_suite::solver::Solver;
+use symnet_suite::testgen::generators::{isp_backbone, GeneratorConfig};
+
+fn config(len: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        seed: 0xBB_0B0E,
+        size: len,
+        entries: 12,
+    }
+}
+
+fn run(len: usize) -> (symnet_suite::core::engine::ExecutionReport, usize) {
+    let scenario = isp_backbone(&config(len));
+    let engine = SymNet::with_config(
+        scenario.network.clone(),
+        ExecConfig {
+            max_hops: scenario.max_hops,
+            ..ExecConfig::default()
+        },
+    );
+    let report = engine.inject(scenario.inject_at, scenario.inject_port, &scenario.packet);
+    let delivered = report.delivered().count();
+    (report, delivered)
+}
+
+#[test]
+fn backbone_path_counts_grow_with_chain_length() {
+    let (_, short) = run(2);
+    let (_, long) = run(8);
+    assert!(short >= 2, "a 2-router chain must deliver traffic: {short}");
+    assert!(
+        long > short,
+        "an 8-router chain must deliver more buckets than a 2-router chain: {long} vs {short}"
+    );
+}
+
+#[test]
+fn backbone_buckets_are_satisfiable() {
+    let (report, delivered) = run(4);
+    assert!(delivered > 0);
+    let mut solver = Solver::default();
+    for path in report.delivered() {
+        assert!(
+            solver.model(&path.state.path_condition()).is_some(),
+            "delivered path {} must admit a concrete packet",
+            path.id
+        );
+    }
+}
+
+#[test]
+fn backbone_reports_are_thread_invariant() {
+    let scenario = isp_backbone(&config(6));
+    let mut baseline = None;
+    for threads in [1usize, 2, 8] {
+        let engine = SymNet::with_config(
+            scenario.network.clone(),
+            ExecConfig {
+                max_hops: scenario.max_hops,
+                ..ExecConfig::default()
+            }
+            .with_threads(threads),
+        );
+        let report = engine.inject(scenario.inject_at, scenario.inject_port, &scenario.packet);
+        let canonical = canonical_report_json_string(&report, &scenario.network);
+        match &baseline {
+            None => baseline = Some(canonical),
+            Some(expected) => {
+                assert_eq!(
+                    &canonical, expected,
+                    "canonical report at {threads} threads"
+                )
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Stress coverage over the `fat_tree` scenario generator: a k-ary three-layer
+//! datacenter fabric of TTL-decrementing routers. The injected packet is
+//! constrained to the union of real host /32s, so the unmutated fabric must
+//! deliver (at least) one path per reachable host — the scaling law asserted
+//! here — and every delivered bucket must admit a concrete witness packet.
+//! Mirrors `tests/stress_ecmp.rs` for the new generator family.
+
+use symnet_suite::core::engine::{ExecConfig, SymNet};
+use symnet_suite::core::report::canonical_report_json_string;
+use symnet_suite::solver::Solver;
+use symnet_suite::testgen::generators::{fat_tree, GeneratorConfig};
+
+fn config(k: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        seed: 0xFA7_7EE,
+        size: k,
+        entries: 8,
+    }
+}
+
+/// Hosts in a k-ary fat tree: k pods x k/2 edges x k/2 host ports.
+fn host_count(k: usize) -> usize {
+    k * (k / 2) * (k / 2)
+}
+
+#[test]
+fn fat_tree_delivers_every_host_bucket() {
+    let scenario = fat_tree(&config(4));
+    let engine = SymNet::with_config(
+        scenario.network.clone(),
+        ExecConfig {
+            max_hops: scenario.max_hops,
+            ..ExecConfig::default()
+        },
+    );
+    let report = engine.inject(scenario.inject_at, scenario.inject_port, &scenario.packet);
+    assert!(
+        report.delivered().count() >= host_count(4),
+        "k=4 fabric must deliver at least one path per host: {} < {}",
+        report.delivered().count(),
+        host_count(4)
+    );
+}
+
+#[test]
+fn fat_tree_path_counts_scale_with_arity() {
+    let narrow = fat_tree(&config(2));
+    let wide = fat_tree(&config(4));
+    let narrow_report = SymNet::new(narrow.network.clone()).inject(
+        narrow.inject_at,
+        narrow.inject_port,
+        &narrow.packet,
+    );
+    let wide_report =
+        SymNet::new(wide.network.clone()).inject(wide.inject_at, wide.inject_port, &wide.packet);
+    // k=2 has 2 hosts, k=4 has 16: delivered paths must scale at least with
+    // the host ratio's conservative half (core-level ECMP can add more).
+    assert!(narrow_report.delivered().count() >= host_count(2));
+    assert!(
+        wide_report.delivered().count() >= 4 * narrow_report.delivered().count(),
+        "k=4 must deliver >= 4x the paths of k=2: {} vs {}",
+        wide_report.delivered().count(),
+        narrow_report.delivered().count()
+    );
+}
+
+#[test]
+fn fat_tree_buckets_are_satisfiable() {
+    let scenario = fat_tree(&config(4));
+    let engine = SymNet::with_config(
+        scenario.network.clone(),
+        ExecConfig {
+            max_hops: scenario.max_hops,
+            ..ExecConfig::default()
+        },
+    );
+    let report = engine.inject(scenario.inject_at, scenario.inject_port, &scenario.packet);
+    let mut solver = Solver::default();
+    for path in report.delivered() {
+        assert!(
+            solver.model(&path.state.path_condition()).is_some(),
+            "delivered path {} must admit a concrete packet",
+            path.id
+        );
+    }
+}
+
+#[test]
+fn fat_tree_reports_are_thread_invariant() {
+    let scenario = fat_tree(&config(4));
+    let mut baseline = None;
+    for threads in [1usize, 2, 8] {
+        let engine = SymNet::with_config(
+            scenario.network.clone(),
+            ExecConfig {
+                max_hops: scenario.max_hops,
+                ..ExecConfig::default()
+            }
+            .with_threads(threads),
+        );
+        let report = engine.inject(scenario.inject_at, scenario.inject_port, &scenario.packet);
+        let canonical = canonical_report_json_string(&report, &scenario.network);
+        match &baseline {
+            None => baseline = Some(canonical),
+            Some(expected) => {
+                assert_eq!(
+                    &canonical, expected,
+                    "canonical report at {threads} threads"
+                )
+            }
+        }
+    }
+}
