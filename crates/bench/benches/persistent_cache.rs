@@ -1,0 +1,111 @@
+//! Cold vs warm-disk vs warm-memory runs of the persistent solver cache
+//! (`symnet_solver::cache`).
+//!
+//! Three variants per workload, isolating each caching layer:
+//!
+//! * **cold** — no disk cache, and the process-wide content memos cleared
+//!   before every iteration: the full decision-procedure cost.
+//! * **warm_disk** — the cache directory primed by one run, the content memos
+//!   cleared before every iteration: every verdict replays from the
+//!   disk-loaded index (what a fresh process pointed at yesterday's cache
+//!   directory pays).
+//! * **warm_memory** — no disk cache, content memos left warm: the in-process
+//!   memo ceiling the disk path is compared against.
+//!
+//! Workloads are the §8.5 department inbound scan and the Figure 8 egress
+//! switch; `SYMNET_FULL_SCALE=1` switches the latter to the paper-scale
+//! 480 000-MAC table (see `full_scale.rs` — ids do not encode the size, so
+//! snapshot comparisons only make sense within one mode). Results and
+//! methodology are recorded in docs/BENCHMARKS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symnet_core::engine::{ExecConfig, SymNet};
+use symnet_core::network::Network;
+use symnet_models::scenarios::{department, DepartmentConfig};
+use symnet_models::switch::{switch_egress, MacTable};
+use symnet_sefl::packet::{symbolic_l3_tcp_packet, symbolic_tcp_packet};
+use symnet_solver::{cache, solve::reset_process_memos};
+
+/// True when benching the paper-scale sizes (`SYMNET_FULL_SCALE=1`).
+fn full_scale() -> bool {
+    std::env::var("SYMNET_FULL_SCALE").is_ok_and(|v| v == "1")
+}
+
+fn bench(c: &mut Criterion) {
+    let full = full_scale();
+    let mut group = c.benchmark_group("persistent_cache");
+    group.sample_size(if full { 2 } else { 10 });
+
+    let dir = std::env::temp_dir().join(format!("symnet-bench-cache-{}", std::process::id()));
+
+    let (net, topo) = department(DepartmentConfig {
+        access_switches: 6,
+        mac_entries: 600,
+        routes: 50,
+    });
+    let engine = SymNet::with_config(
+        net,
+        ExecConfig {
+            max_hops: 32,
+            ..ExecConfig::default()
+        },
+    );
+    let inbound = symbolic_l3_tcp_packet();
+    let sec85 = move || engine.inject(topo.exit_router, 0, &inbound).path_count();
+
+    // The Figure 8 egress switch, built once: the per-iteration cost is the
+    // injection (solver-dominated), not the MAC-table model construction.
+    let fig8_entries = if full { 480_000 } else { 10_000 };
+    let table = MacTable::synthetic(fig8_entries, 20);
+    let mut fig8_net = Network::new();
+    let fig8_id = fig8_net.add_element(switch_egress("switch", &table));
+    let fig8_engine = SymNet::new(fig8_net);
+    let fig8_pkt = symbolic_tcp_packet();
+    let fig8 = move || fig8_engine.inject(fig8_id, 0, &fig8_pkt).path_count();
+
+    let workloads: [(&str, &dyn Fn() -> usize); 2] =
+        [("sec85_inbound", &sec85), ("fig8_switch_egress", &fig8)];
+
+    for (name, run) in workloads {
+        // Cold: no persistent layer, no memos.
+        cache::deactivate();
+        group.bench_with_input(BenchmarkId::new("cold", name), &(), |b, ()| {
+            b.iter(|| {
+                reset_process_memos();
+                run()
+            })
+        });
+
+        // Prime a fresh directory, then measure warm-disk replay: the memos
+        // are cleared every iteration, so only the disk-loaded index answers.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            cache::configure(&dir).expect("cache dir opens"),
+            "per-process bench dir cannot be locked"
+        );
+        reset_process_memos();
+        run();
+        cache::flush();
+        group.bench_with_input(BenchmarkId::new("warm_disk", name), &(), |b, ()| {
+            b.iter(|| {
+                reset_process_memos();
+                run()
+            })
+        });
+        cache::deactivate();
+
+        // Warm-memory ceiling: one run fills the content memos, then every
+        // iteration answers from them.
+        reset_process_memos();
+        run();
+        group.bench_with_input(BenchmarkId::new("warm_memory", name), &(), |b, ()| {
+            b.iter(run)
+        });
+    }
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

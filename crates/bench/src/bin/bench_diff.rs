@@ -31,6 +31,7 @@ const GATED_PREFIXES: &[&str] = &[
     "fig8_switch_models/",
     "full_scale/",
     "generators/",
+    "persistent_cache/",
 ];
 
 /// Default regression threshold: mean more than 25% above baseline fails.

@@ -20,10 +20,20 @@
 //! symbolic-vs-concrete divergence, or if the built-in canary bug goes
 //! undetected. `fuzz` only runs when requested explicitly — it is not part
 //! of `all`.
+//!
+//! `--cache-dir DIR` activates the persistent (disk-backed) solver cache for
+//! the whole invocation: a second run pointed at the same directory replays
+//! the first run's verdicts from disk and prints identical tables. A summary
+//! of persistent-cache traffic is printed on exit. `sec85 --report-json
+//! FILE` additionally dumps the sec85 experiment as deterministic JSON
+//! (timing zeroed) — the byte-comparison artifact CI uses to assert
+//! cold-vs-warm identity.
 
 use symnet_bench::{
-    fig8, sec83, sec84, sec85, serve, serve_concurrent, table1, table2, table3, table4, table5,
+    fig8, sec83, sec84, sec85, sec85_report_json, serve, serve_concurrent, table1, table2, table3,
+    table4, table5,
 };
+use symnet_solver::cache;
 use symnet_testgen::fuzz::{run_canary, run_fuzz, FuzzConfig};
 
 fn parse_u64(value: &str) -> Option<u64> {
@@ -39,11 +49,29 @@ fn main() {
     let mut clients: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut iters: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut report_json: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--full" {
             full = true;
+        } else if arg == "--cache-dir" {
+            cache_dir = iter.next().cloned();
+            if cache_dir.is_none() {
+                eprintln!("--cache-dir expects a directory path");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = arg.strip_prefix("--cache-dir=") {
+            cache_dir = Some(v.to_string());
+        } else if arg == "--report-json" {
+            report_json = iter.next().cloned();
+            if report_json.is_none() {
+                eprintln!("--report-json expects a file path");
+                std::process::exit(2);
+            }
+        } else if let Some(v) = arg.strip_prefix("--report-json=") {
+            report_json = Some(v.to_string());
         } else if arg == "--clients" {
             clients = iter.next().and_then(|v| v.parse().ok());
             if clients.is_none() {
@@ -89,8 +117,23 @@ fn main() {
         }
     }
 
+    if let Some(dir) = &cache_dir {
+        match cache::configure(std::path::Path::new(dir)) {
+            Ok(true) => println!("persistent-cache: active at {dir}"),
+            Ok(false) => {
+                eprintln!("persistent-cache: {dir} is locked by another live process; running cold")
+            }
+            Err(e) => {
+                eprintln!("persistent-cache: cannot open {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if selected.contains(&"fuzz") {
-        std::process::exit(fuzz_campaign(seed, iters));
+        let code = fuzz_campaign(seed, iters);
+        finish_cache();
+        std::process::exit(code);
     }
     let all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
@@ -133,6 +176,14 @@ fn main() {
     if want("sec85") {
         let (sw, macs, routes) = if full { (15, 6_000, 400) } else { (6, 600, 50) };
         println!("{}", sec85(sw, macs, routes).render());
+        if let Some(path) = &report_json {
+            let json = sec85_report_json(sw, macs, routes);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("--report-json: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("sec85 report written to {path}");
+        }
     }
     if want("serve") {
         match clients {
@@ -157,6 +208,49 @@ fn main() {
             }
         }
     }
+    if full {
+        // The interning tables back every memo layer; their eviction counters
+        // tell whether the paper-scale working set actually fit (evicted == 0)
+        // or the memos were silently thrashed.
+        print_eviction_stats();
+    }
+    finish_cache();
+}
+
+/// Prints the process-wide interner eviction counters (see
+/// `symnet_solver::eviction_stats`).
+fn print_eviction_stats() {
+    let ev = symnet_solver::eviction_stats();
+    println!(
+        "interner evictions: formulas {}/{} (evicted/sweeps), intervals {}/{}, content {}/{}",
+        ev.formulas.evicted,
+        ev.formulas.sweeps,
+        ev.intervals.evicted,
+        ev.intervals.sweeps,
+        ev.content.evicted,
+        ev.content.sweeps
+    );
+}
+
+/// Flushes the persistent cache and prints its traffic summary, if active.
+fn finish_cache() {
+    if !cache::active() {
+        return;
+    }
+    cache::flush();
+    let c = cache::counters();
+    println!(
+        "persistent-cache: verdict hits={} misses={} stores={}, projection hits={} misses={} stores={}, cex hits={} stores={}",
+        c.verdict_hits,
+        c.verdict_misses,
+        c.verdict_stores,
+        c.projection_hits,
+        c.projection_misses,
+        c.projection_stores,
+        c.cex_hits,
+        c.cex_stores
+    );
+    cache::deactivate();
 }
 
 /// Runs the differential fuzzing campaign; returns the process exit code.
@@ -195,6 +289,9 @@ fn fuzz_campaign(seed: Option<u64>, iters: Option<usize>) -> i32 {
         report.mutations_applied,
         report.failures.len()
     );
+    // Campaigns churn through thousands of interned formulas; surface whether
+    // the interning tables had to evict (and thereby thrash the memo layers).
+    print_eviction_stats();
     if report.is_clean() {
         println!("fuzz: every symbolic path agreed with its concrete replay");
         0

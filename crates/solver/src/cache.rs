@@ -1,0 +1,791 @@
+//! Persistent, disk-backed solver cache.
+//!
+//! The in-process memo tables ([`crate::intern`], the content memos in
+//! [`crate::solve`]) make re-solving free *within* a run; this module makes it
+//! cheap *across* runs. It layers three pieces on top of the
+//! [`symnet_store::LogStore`] record log:
+//!
+//! 1. **In-memory index** — sharded maps from stable 128-bit fingerprints
+//!    (see [`crate::fingerprint`]) to decoded verdicts and projections,
+//!    rebuilt from the log on [`configure`]. There is no on-disk index file:
+//!    the log *is* the store, so there is nothing to get out of sync.
+//! 2. **Write-behind flusher** — stores enqueue an encoded record on an
+//!    unbounded channel and return immediately; a dedicated flusher thread
+//!    owns the `LogStore` and drains the channel in batches. The solver hot
+//!    path never blocks on I/O, and [`flush`] provides a durability barrier
+//!    for process exit and tests.
+//! 3. **Counterexample cache** — KLEE-style: satisfying [`Model`]s keyed by
+//!    the *set* of conjunct fingerprints they satisfy. A query whose conjunct
+//!    set is a subset of a cached satisfying entry is satisfiable (the model
+//!    carries over); a query whose conjunct set is a superset of a cached
+//!    unsatisfiable entry is unsatisfiable. Since this suite's solver is
+//!    deliberately incomplete on the Unsat side, callers are expected to
+//!    *verify* Sat models before trusting them and to ignore
+//!    [`CexDecision::SubsetUnsat`] when soundness matters more than speed
+//!    (see [`crate::Solver::model_path_cached`]).
+//!
+//! ## Lifecycle and degradation
+//!
+//! The cache is process-global and off by default; [`configure`] points it at
+//! a directory and returns `Ok(false)` — *degrading to a cold cache, never an
+//! error* — when another live process holds the store lock. A log whose
+//! header does not match [`FORMAT_VERSION`] is wiped and restarted; records
+//! whose keys were produced by a different `SolverConfig` or fingerprint
+//! version simply never match (the config fingerprint is mixed into every
+//! key). Torn or bit-flipped tails are truncated by the store layer on open.
+//! Every failure mode therefore converges to "fewer warm hits", never to a
+//! wrong verdict.
+
+use crate::fingerprint;
+use crate::interval::IntervalSet;
+use crate::model::Model;
+use crate::solve::SolverResult;
+use crate::term::VarId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use symnet_store::{LogStore, StoreError};
+
+/// Version of the on-disk record encoding. A log whose header carries a
+/// different version is wiped on open (the fingerprint scheme has its own
+/// version, [`fingerprint::FP_VERSION`], which invalidates by key mismatch
+/// instead).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name of the record log inside the cache directory.
+const LOG_NAME: &str = "solver-cache.log";
+
+/// Shard count of the in-memory index maps.
+const SHARDS: usize = 16;
+
+fn shard(key: u128) -> usize {
+    (key as usize) % SHARDS
+}
+
+type VerdictMap = HashMap<u128, (SolverResult, u64)>;
+type ProjectionMap = HashMap<u128, (Option<IntervalSet>, u64)>;
+
+struct Maps {
+    verdicts: Vec<Mutex<VerdictMap>>,
+    projections: Vec<Mutex<ProjectionMap>>,
+}
+
+fn maps() -> &'static Maps {
+    static MAPS: OnceLock<Maps> = OnceLock::new();
+    MAPS.get_or_init(|| Maps {
+        verdicts: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        projections: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+    })
+}
+
+/// One counterexample-cache entry: the sorted set of conjunct fingerprints it
+/// decides, the verdict, and (for Sat) the witness assignment.
+struct CexEntry {
+    atoms: Vec<u128>,
+    sat: bool,
+    model: Vec<(u64, u64)>,
+}
+
+#[derive(Default)]
+struct CexEntries {
+    /// Exact-set index: `combine(DOMAIN_CEX, atoms)` → entry position.
+    exact: HashMap<u128, usize>,
+    entries: Vec<CexEntry>,
+}
+
+fn cex() -> &'static Mutex<CexEntries> {
+    static CEX: OnceLock<Mutex<CexEntries>> = OnceLock::new();
+    CEX.get_or_init(|| Mutex::new(CexEntries::default()))
+}
+
+enum FlushMsg {
+    Record(Vec<u8>),
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+struct Flusher {
+    tx: Sender<FlushMsg>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+static FLUSHER: Mutex<Option<Flusher>> = Mutex::new(None);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+static VERDICT_HITS: AtomicU64 = AtomicU64::new(0);
+static VERDICT_MISSES: AtomicU64 = AtomicU64::new(0);
+static VERDICT_STORES: AtomicU64 = AtomicU64::new(0);
+static PROJECTION_HITS: AtomicU64 = AtomicU64::new(0);
+static PROJECTION_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROJECTION_STORES: AtomicU64 = AtomicU64::new(0);
+static CEX_HITS: AtomicU64 = AtomicU64::new(0);
+static CEX_STORES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime counters of the persistent cache (all queries by all
+/// solvers since the last [`reset_counters`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Verdict lookups answered from the store.
+    pub verdict_hits: u64,
+    /// Verdict lookups that fell through to the solver.
+    pub verdict_misses: u64,
+    /// Verdicts written to the store.
+    pub verdict_stores: u64,
+    /// Projection lookups answered from the store.
+    pub projection_hits: u64,
+    /// Projection lookups that fell through to the solver.
+    pub projection_misses: u64,
+    /// Projections written to the store.
+    pub projection_stores: u64,
+    /// Queries decided by a cached counterexample/witness.
+    pub cex_hits: u64,
+    /// Counterexample entries recorded.
+    pub cex_stores: u64,
+}
+
+/// Snapshot of the global cache counters.
+pub fn counters() -> CacheCounters {
+    CacheCounters {
+        verdict_hits: VERDICT_HITS.load(Ordering::Relaxed),
+        verdict_misses: VERDICT_MISSES.load(Ordering::Relaxed),
+        verdict_stores: VERDICT_STORES.load(Ordering::Relaxed),
+        projection_hits: PROJECTION_HITS.load(Ordering::Relaxed),
+        projection_misses: PROJECTION_MISSES.load(Ordering::Relaxed),
+        projection_stores: PROJECTION_STORES.load(Ordering::Relaxed),
+        cex_hits: CEX_HITS.load(Ordering::Relaxed),
+        cex_stores: CEX_STORES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the global cache counters to zero (bench/test isolation).
+pub fn reset_counters() {
+    VERDICT_HITS.store(0, Ordering::Relaxed);
+    VERDICT_MISSES.store(0, Ordering::Relaxed);
+    VERDICT_STORES.store(0, Ordering::Relaxed);
+    PROJECTION_HITS.store(0, Ordering::Relaxed);
+    PROJECTION_MISSES.store(0, Ordering::Relaxed);
+    PROJECTION_STORES.store(0, Ordering::Relaxed);
+    CEX_HITS.store(0, Ordering::Relaxed);
+    CEX_STORES.store(0, Ordering::Relaxed);
+}
+
+/// True when a disk-backed cache is configured and accepting queries.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// One record of the append-only log. Keys are 128-bit fingerprints split
+/// into `(hi, lo)` word pairs (the serde shim has no 128-bit unsigned
+/// deserialization), models are `(variable id, value)` pairs.
+#[derive(Debug, Serialize, Deserialize)]
+enum CacheRecord {
+    /// First record of every log: the encoding version.
+    Header { version: u32 },
+    Verdict {
+        key_hi: u64,
+        key_lo: u64,
+        /// 0 = Unsat, 1 = Unknown, 2 = Sat (with `model`).
+        verdict: u8,
+        examined: u64,
+        model: Vec<(u64, u64)>,
+    },
+    Projection {
+        key_hi: u64,
+        key_lo: u64,
+        examined: u64,
+        /// False when the projection itself was unanswerable (e.g. a cube
+        /// budget overflow on the prefix) — a cachable "no answer".
+        known: bool,
+        ranges: Vec<(i128, i128)>,
+    },
+    Cex {
+        atoms: Vec<(u64, u64)>,
+        sat: bool,
+        model: Vec<(u64, u64)>,
+    },
+}
+
+fn split_key(key: u128) -> (u64, u64) {
+    ((key >> 64) as u64, key as u64)
+}
+
+fn join_key(hi: u64, lo: u64) -> u128 {
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn encode(record: &CacheRecord) -> Option<Vec<u8>> {
+    serde_json::to_string(record).ok().map(String::into_bytes)
+}
+
+fn decode(bytes: &[u8]) -> Option<CacheRecord> {
+    serde_json::from_str(std::str::from_utf8(bytes).ok()?).ok()
+}
+
+fn model_to_pairs(model: &Model) -> Vec<(u64, u64)> {
+    model.iter().map(|(id, v)| (id.0, v)).collect()
+}
+
+fn pairs_to_model(pairs: &[(u64, u64)]) -> Model {
+    pairs.iter().map(|&(id, v)| (VarId(id), v)).collect()
+}
+
+fn verdict_to_record(key: u128, result: &SolverResult, examined: u64) -> CacheRecord {
+    let (key_hi, key_lo) = split_key(key);
+    let (verdict, model) = match result {
+        SolverResult::Unsat => (0u8, Vec::new()),
+        SolverResult::Unknown => (1, Vec::new()),
+        SolverResult::Sat(m) => (2, model_to_pairs(m)),
+    };
+    CacheRecord::Verdict {
+        key_hi,
+        key_lo,
+        verdict,
+        examined,
+        model,
+    }
+}
+
+fn record_to_verdict(verdict: u8, model: &[(u64, u64)]) -> Option<SolverResult> {
+    match verdict {
+        0 => Some(SolverResult::Unsat),
+        1 => Some(SolverResult::Unknown),
+        2 => Some(SolverResult::Sat(pairs_to_model(model))),
+        _ => None,
+    }
+}
+
+/// Loads one decoded record into the in-memory index (warm start).
+fn load_record(record: CacheRecord) {
+    match record {
+        CacheRecord::Header { .. } => {}
+        CacheRecord::Verdict {
+            key_hi,
+            key_lo,
+            verdict,
+            examined,
+            model,
+        } => {
+            if let Some(result) = record_to_verdict(verdict, &model) {
+                let key = join_key(key_hi, key_lo);
+                let mut guard = maps().verdicts[shard(key)]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.entry(key).or_insert((result, examined));
+            }
+        }
+        CacheRecord::Projection {
+            key_hi,
+            key_lo,
+            examined,
+            known,
+            ranges,
+        } => {
+            let key = join_key(key_hi, key_lo);
+            let set = known.then(|| IntervalSet::from_ranges(ranges.iter().copied()));
+            let mut guard = maps().projections[shard(key)]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.entry(key).or_insert((set, examined));
+        }
+        CacheRecord::Cex { atoms, sat, model } => {
+            let atoms: Vec<u128> = atoms.iter().map(|&(hi, lo)| join_key(hi, lo)).collect();
+            insert_cex(atoms, sat, model);
+        }
+    }
+}
+
+/// Points the process-wide cache at `dir`, loading any existing records.
+///
+/// Returns `Ok(true)` when the cache is active, `Ok(false)` when the store is
+/// locked by another live process (the cache stays off — cold, not wrong).
+/// Replaces any previously configured cache (flushing it first).
+pub fn configure(dir: &Path) -> io::Result<bool> {
+    deactivate();
+    std::fs::create_dir_all(dir)?;
+    let mut store = match LogStore::open(&dir.join(LOG_NAME)) {
+        Ok(store) => store,
+        Err(StoreError::Busy { .. }) => return Ok(false),
+        Err(StoreError::Io(e)) => return Err(e),
+    };
+    let records = store.take_records();
+    let header_ok = matches!(
+        records.first().map(|r| decode(r)),
+        Some(Some(CacheRecord::Header { version })) if version == FORMAT_VERSION
+    );
+    if header_ok {
+        for bytes in &records[1..] {
+            if let Some(record) = decode(bytes) {
+                load_record(record);
+            }
+        }
+    } else {
+        // Fresh log, foreign format, or stale version: start over. (An
+        // *empty* log is the common fresh-directory case.)
+        store.truncate_all()?;
+        if let Some(bytes) = encode(&CacheRecord::Header {
+            version: FORMAT_VERSION,
+        }) {
+            store.append(&bytes)?;
+        }
+        store.sync()?;
+    }
+    let (tx, rx) = mpsc::channel::<FlushMsg>();
+    let handle = std::thread::Builder::new()
+        .name("symnet-cache-flusher".into())
+        .spawn(move || flusher_loop(store, rx))?;
+    *FLUSHER.lock().unwrap_or_else(PoisonError::into_inner) = Some(Flusher {
+        tx,
+        handle: Some(handle),
+    });
+    ACTIVE.store(true, Ordering::SeqCst);
+    Ok(true)
+}
+
+/// The write-behind thread: owns the store, drains the channel in batches,
+/// syncs on explicit flushes and on shutdown. Append errors are swallowed —
+/// a full disk degrades the *next* open to fewer records, never this run's
+/// correctness.
+fn flusher_loop(mut store: LogStore, rx: mpsc::Receiver<FlushMsg>) {
+    loop {
+        let Ok(mut msg) = rx.recv() else { break };
+        loop {
+            match msg {
+                FlushMsg::Record(bytes) => {
+                    let _ = store.append(&bytes);
+                }
+                FlushMsg::Flush(ack) => {
+                    let _ = store.sync();
+                    let _ = ack.send(());
+                }
+                FlushMsg::Shutdown => return,
+            }
+            // Batch: drain whatever queued up while appending.
+            match rx.try_recv() {
+                Ok(next) => msg = next,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Shuts the cache down: drains and syncs pending writes, releases the store
+/// lock, clears the in-memory index. Queries degrade to cold immediately.
+pub fn deactivate() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    let flusher = FLUSHER
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(mut flusher) = flusher {
+        let _ = flusher.tx.send(FlushMsg::Shutdown);
+        if let Some(handle) = flusher.handle.take() {
+            let _ = handle.join();
+        }
+    }
+    let maps = maps();
+    for shard in &maps.verdicts {
+        shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+    for shard in &maps.projections {
+        shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+    let mut guard = cex().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.exact.clear();
+    guard.entries.clear();
+}
+
+/// Blocks until every record enqueued so far is on disk. No-op when the
+/// cache is inactive.
+pub fn flush() {
+    let tx = {
+        let guard = FLUSHER.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.as_ref().map(|f| f.tx.clone())
+    };
+    let Some(tx) = tx else { return };
+    let (ack_tx, ack_rx) = mpsc::channel();
+    if tx.send(FlushMsg::Flush(ack_tx)).is_ok() {
+        let _ = ack_rx.recv();
+    }
+}
+
+fn send_record(record: &CacheRecord) {
+    let tx = {
+        let guard = FLUSHER.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.as_ref().map(|f| f.tx.clone())
+    };
+    if let (Some(tx), Some(bytes)) = (tx, encode(record)) {
+        let _ = tx.send(FlushMsg::Record(bytes));
+    }
+}
+
+/// Looks up a persisted verdict. Counts a hit or miss.
+pub(crate) fn lookup_verdict(key: u128) -> Option<(SolverResult, u64)> {
+    if !active() {
+        return None;
+    }
+    let guard = maps().verdicts[shard(key)]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match guard.get(&key) {
+        Some(entry) => {
+            VERDICT_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(entry.clone())
+        }
+        None => {
+            VERDICT_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Persists a verdict (idempotent: a key already present is left untouched,
+/// so racing workers never duplicate disk records for the maps they share).
+pub(crate) fn store_verdict(key: u128, result: &SolverResult, examined: u64) {
+    if !active() {
+        return;
+    }
+    {
+        let mut guard = maps().verdicts[shard(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.contains_key(&key) {
+            return;
+        }
+        guard.insert(key, (result.clone(), examined));
+    }
+    VERDICT_STORES.fetch_add(1, Ordering::Relaxed);
+    send_record(&verdict_to_record(key, result, examined));
+}
+
+/// Looks up a persisted projection. Counts a hit or miss.
+pub(crate) fn lookup_projection(key: u128) -> Option<(Option<IntervalSet>, u64)> {
+    if !active() {
+        return None;
+    }
+    let guard = maps().projections[shard(key)]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match guard.get(&key) {
+        Some(entry) => {
+            PROJECTION_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(entry.clone())
+        }
+        None => {
+            PROJECTION_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Persists a projection result (idempotent, like [`store_verdict`]).
+pub(crate) fn store_projection(key: u128, set: &Option<IntervalSet>, examined: u64) {
+    if !active() {
+        return;
+    }
+    {
+        let mut guard = maps().projections[shard(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.contains_key(&key) {
+            return;
+        }
+        guard.insert(key, (set.clone(), examined));
+    }
+    PROJECTION_STORES.fetch_add(1, Ordering::Relaxed);
+    let (key_hi, key_lo) = split_key(key);
+    send_record(&CacheRecord::Projection {
+        key_hi,
+        key_lo,
+        examined,
+        known: set.is_some(),
+        ranges: set
+            .as_ref()
+            .map(|s| s.as_slice().to_vec())
+            .unwrap_or_default(),
+    });
+}
+
+/// How the counterexample cache can decide a query over a conjunct set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CexDecision {
+    /// An entry for exactly this conjunct set.
+    Exact {
+        /// The cached verdict.
+        sat: bool,
+        /// The cached witness (empty unless `sat`).
+        model: Model,
+    },
+    /// A satisfying model cached for a *superset* of these conjuncts: it
+    /// satisfies every conjunct of the query too. Callers should still verify
+    /// the model before reporting Sat.
+    SupersetSat {
+        /// The carried-over witness.
+        model: Model,
+    },
+    /// A *subset* of these conjuncts is already unsatisfiable, so adding more
+    /// conjuncts cannot help. Only sound if the cached Unsat was sound —
+    /// callers using an incomplete solver should treat this as advisory.
+    SubsetUnsat,
+}
+
+fn sorted_atoms(atoms: &[u128]) -> Vec<u128> {
+    let mut sorted = atoms.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted
+}
+
+/// True when sorted `sup` contains every element of sorted `sub`.
+fn contains_all(sup: &[u128], sub: &[u128]) -> bool {
+    let mut it = sup.iter();
+    sub.iter()
+        .all(|needle| it.by_ref().any(|have| have == needle))
+}
+
+/// Consults the counterexample cache for a query over `atoms` (conjunct
+/// fingerprints, order-insensitive). Exact entries win; otherwise the first
+/// superset-Sat entry, then the first subset-Unsat entry.
+pub fn cex_decide(atoms: &[u128]) -> Option<CexDecision> {
+    if !active() {
+        return None;
+    }
+    let sorted = sorted_atoms(atoms);
+    let key = fingerprint::combine(fingerprint::DOMAIN_CEX, &sorted);
+    let guard = cex().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(&index) = guard.exact.get(&key) {
+        let entry = &guard.entries[index];
+        return Some(CexDecision::Exact {
+            sat: entry.sat,
+            model: pairs_to_model(&entry.model),
+        });
+    }
+    for entry in &guard.entries {
+        if entry.sat && contains_all(&entry.atoms, &sorted) {
+            return Some(CexDecision::SupersetSat {
+                model: pairs_to_model(&entry.model),
+            });
+        }
+    }
+    for entry in &guard.entries {
+        if !entry.sat && contains_all(&sorted, &entry.atoms) {
+            return Some(CexDecision::SubsetUnsat);
+        }
+    }
+    None
+}
+
+fn insert_cex(sorted: Vec<u128>, sat: bool, model: Vec<(u64, u64)>) -> bool {
+    let key = fingerprint::combine(fingerprint::DOMAIN_CEX, &sorted);
+    let mut guard = cex().lock().unwrap_or_else(PoisonError::into_inner);
+    if guard.exact.contains_key(&key) {
+        return false;
+    }
+    let index = guard.entries.len();
+    guard.entries.push(CexEntry {
+        atoms: sorted,
+        sat,
+        model,
+    });
+    guard.exact.insert(key, index);
+    true
+}
+
+/// Records a decided query in the counterexample cache (and on disk).
+pub fn cex_store(atoms: &[u128], sat: bool, model: &Model) {
+    if !active() {
+        return;
+    }
+    let sorted = sorted_atoms(atoms);
+    let pairs = if sat {
+        model_to_pairs(model)
+    } else {
+        Vec::new()
+    };
+    if !insert_cex(sorted.clone(), sat, pairs.clone()) {
+        return;
+    }
+    CEX_STORES.fetch_add(1, Ordering::Relaxed);
+    send_record(&CacheRecord::Cex {
+        atoms: sorted.iter().map(|&a| split_key(a)).collect(),
+        sat,
+        model: pairs,
+    });
+}
+
+/// Counts one query decided by the counterexample cache (called by the solver
+/// after it has *verified* the carried-over model).
+pub(crate) fn record_cex_hit() {
+    CEX_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: TestCounter = TestCounter::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "symnet-cache-mod-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The cache is process-global, so tests touching it serialize on this.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn record_encoding_roundtrips() {
+        let model: Model = [(VarId(3), 9u64), (VarId(7), 0)].into_iter().collect();
+        let records = [
+            CacheRecord::Header {
+                version: FORMAT_VERSION,
+            },
+            verdict_to_record(0xDEAD_BEEF, &SolverResult::Sat(model.clone()), 4),
+            verdict_to_record(1, &SolverResult::Unsat, 0),
+            verdict_to_record(2, &SolverResult::Unknown, 0),
+            CacheRecord::Projection {
+                key_hi: 1,
+                key_lo: 2,
+                examined: 3,
+                known: true,
+                ranges: vec![(0, 5), (10, 20)],
+            },
+            CacheRecord::Cex {
+                atoms: vec![(0, 1), (2, 3)],
+                sat: true,
+                model: model_to_pairs(&model),
+            },
+        ];
+        for record in &records {
+            let bytes = encode(record).expect("encodable");
+            let back = decode(&bytes).expect("decodable");
+            // Debug equality is enough: the enum has no custom Eq.
+            assert_eq!(format!("{record:?}"), format!("{back:?}"));
+        }
+        assert!(decode(b"not json").is_none());
+        assert!(decode(&[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn verdicts_survive_configure_cycles() {
+        let _gate = lock();
+        let dir = temp_dir("verdict-cycle");
+        assert!(configure(&dir).unwrap());
+        let model: Model = [(VarId(1), 5u64)].into_iter().collect();
+        store_verdict(42, &SolverResult::Sat(model.clone()), 7);
+        store_verdict(43, &SolverResult::Unsat, 2);
+        assert_eq!(lookup_verdict(42), Some((SolverResult::Sat(model), 7)));
+        flush();
+        deactivate();
+        assert!(
+            lookup_verdict(42).is_none(),
+            "inactive cache answers nothing"
+        );
+        // Re-open warm from disk.
+        assert!(configure(&dir).unwrap());
+        assert_eq!(lookup_verdict(43), Some((SolverResult::Unsat, 2)));
+        deactivate();
+    }
+
+    #[test]
+    fn projections_roundtrip_through_disk() {
+        let _gate = lock();
+        let dir = temp_dir("projection");
+        assert!(configure(&dir).unwrap());
+        let set = IntervalSet::from_ranges([(0, 9), (20, 29)]);
+        store_projection(7, &Some(set.clone()), 11);
+        store_projection(8, &None, 0);
+        flush();
+        deactivate();
+        assert!(configure(&dir).unwrap());
+        assert_eq!(lookup_projection(7), Some((Some(set), 11)));
+        assert_eq!(lookup_projection(8), Some((None, 0)));
+        deactivate();
+    }
+
+    #[test]
+    fn cex_subset_superset_logic() {
+        let _gate = lock();
+        let dir = temp_dir("cex");
+        assert!(configure(&dir).unwrap());
+        let model: Model = [(VarId(2), 1u64)].into_iter().collect();
+        // A model satisfying {a, b, c}.
+        cex_store(&[10, 20, 30], true, &model);
+        // An unsatisfiable pair {d, e}.
+        cex_store(&[40, 50], false, &Model::new());
+        // Exact hit.
+        match cex_decide(&[30, 10, 20]) {
+            Some(CexDecision::Exact {
+                sat: true,
+                model: m,
+            }) => assert_eq!(m, model),
+            other => panic!("expected exact sat, got {other:?}"),
+        }
+        // Subset of the satisfying set → the model carries over.
+        match cex_decide(&[10, 30]) {
+            Some(CexDecision::SupersetSat { model: m }) => assert_eq!(m, model),
+            other => panic!("expected superset-sat, got {other:?}"),
+        }
+        // Superset of the unsat set → advisory unsat.
+        assert_eq!(cex_decide(&[40, 50, 60]), Some(CexDecision::SubsetUnsat));
+        // Unrelated set → no decision.
+        assert!(cex_decide(&[70]).is_none());
+        // Entries survive a reopen.
+        flush();
+        deactivate();
+        assert!(configure(&dir).unwrap());
+        assert!(matches!(
+            cex_decide(&[10, 20, 30]),
+            Some(CexDecision::Exact { sat: true, .. })
+        ));
+        deactivate();
+    }
+
+    #[test]
+    fn stale_format_version_wipes_the_log() {
+        let _gate = lock();
+        let dir = temp_dir("stale-format");
+        // Hand-craft a log whose header claims a future version.
+        {
+            let mut store = LogStore::open(&dir.join(LOG_NAME)).unwrap();
+            let header = encode(&CacheRecord::Header {
+                version: FORMAT_VERSION + 1,
+            })
+            .unwrap();
+            store.append(&header).unwrap();
+            let bogus = encode(&verdict_to_record(99, &SolverResult::Unsat, 0)).unwrap();
+            store.append(&bogus).unwrap();
+            store.sync().unwrap();
+        }
+        assert!(configure(&dir).unwrap());
+        // The future-format record was discarded, not loaded.
+        assert!(lookup_verdict(99).is_none());
+        deactivate();
+    }
+
+    #[test]
+    fn busy_store_degrades_to_inactive() {
+        let _gate = lock();
+        let dir = temp_dir("busy");
+        // Hold the lock the way a second process would.
+        let holder = LogStore::open(&dir.join(LOG_NAME)).unwrap();
+        assert!(!configure(&dir).unwrap(), "busy store must not activate");
+        assert!(!active());
+        store_verdict(7, &SolverResult::Unsat, 0);
+        assert!(lookup_verdict(7).is_none(), "inactive cache stores nothing");
+        drop(holder);
+        assert!(configure(&dir).unwrap());
+        deactivate();
+    }
+}

@@ -13,7 +13,9 @@
 //!    against every literal — `Sat` is only ever reported together with a
 //!    verified [`Model`].
 
+use crate::cache;
 use crate::cube::{append_conjunct, to_cubes, Cube, CubeOverflow, Literal};
+use crate::fingerprint;
 use crate::formula::{CmpOp, Formula};
 use crate::interval::IntervalSet;
 use crate::model::Model;
@@ -43,6 +45,13 @@ pub struct SolverConfig {
     /// materialised into a single formula and solved from scratch — the
     /// baseline the benchmarks compare against.
     pub incremental: bool,
+    /// Consult and populate the process-wide persistent cache
+    /// ([`crate::cache`]) when one is configured. Has no effect while no
+    /// cache directory is active; disabling it opts this solver out even when
+    /// one is. Like `incremental`, this knob selects *how* answers are
+    /// obtained, never *what* they are, so it is excluded from the
+    /// config fingerprint mixed into cache keys.
+    pub persistent: bool,
 }
 
 impl Default for SolverConfig {
@@ -53,6 +62,7 @@ impl Default for SolverConfig {
             max_propagation_rounds: 64,
             samples_per_var: 6,
             incremental: true,
+            persistent: true,
         }
     }
 }
@@ -146,6 +156,12 @@ impl<K: std::hash::Hash + Eq, V: Clone> ContentMemo<K, V> {
         }
         guard.insert(key, value);
     }
+
+    fn clear_all(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        }
+    }
 }
 
 /// Global memo for [`Solver::check_path`]: content id → (prefix cubes,
@@ -164,6 +180,16 @@ fn feasible_memo() -> &'static ContentMemo<(u64, SymVar, ConfigKey), (Option<Int
     static MEMO: OnceLock<ContentMemo<(u64, SymVar, ConfigKey), (Option<IntervalSet>, u64)>> =
         OnceLock::new();
     MEMO.get_or_init(ContentMemo::new)
+}
+
+/// Clears the process-wide content memos. Benchmarks use this to measure a
+/// genuinely cold (or warm-disk-only) run inside a process that has already
+/// explored the same scenario; correctness never depends on memo contents, so
+/// production code has no reason to call it.
+#[doc(hidden)]
+pub fn reset_process_memos() {
+    path_memo().clear_all();
+    feasible_memo().clear_all();
 }
 
 /// The constraint solver. Create one per analysis (it accumulates statistics)
@@ -215,6 +241,23 @@ impl Solver {
         )
     }
 
+    /// True when this solver should consult the persistent disk cache: the
+    /// config opts in *and* a cache directory is configured process-wide.
+    fn persistent_enabled(&self) -> bool {
+        self.config.persistent && cache::active()
+    }
+
+    /// The stable fingerprint of the verdict-affecting config knobs, mixed
+    /// into every persistent-cache key (see [`fingerprint::config_fp`]).
+    fn config_fp(&self) -> u128 {
+        fingerprint::config_fp(
+            self.config.max_cubes,
+            self.config.max_model_attempts,
+            self.config.max_propagation_rounds,
+            self.config.samples_per_var,
+        )
+    }
+
     /// Resets the accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
@@ -244,7 +287,34 @@ impl Solver {
             return result;
         }
         self.stats.memo_misses += 1;
-        let (result, examined) = self.solve_formula(formula);
+        // Persistent layer: a prior run (or an earlier solver in this one)
+        // may have decided this exact formula under this exact config. A hit
+        // replays the verdict and the cubes-examined count of the original
+        // computation, so the serialized counters are identical warm or cold.
+        let persist_key = self.persistent_enabled().then(|| {
+            fingerprint::combine(
+                fingerprint::DOMAIN_CHECK,
+                &[fingerprint::formula_fp(formula), self.config_fp()],
+            )
+        });
+        let (result, examined) = match persist_key.and_then(cache::lookup_verdict) {
+            Some((result, examined)) => {
+                self.stats.persisted_hits += 1;
+                (result, examined)
+            }
+            None => {
+                let (result, examined) = self.solve_formula(formula);
+                if let Some(key) = persist_key {
+                    self.stats.persisted_misses += 1;
+                    self.stats.persisted_stores += 1;
+                    // `Unknown` is stored too: a cube-budget overflow is a
+                    // deterministic function of (formula, config), so caching
+                    // it saves the re-normalisation.
+                    cache::store_verdict(key, &result, examined);
+                }
+                (result, examined)
+            }
+        };
         self.stats.cubes_examined += examined;
         self.record_outcome(&result);
         if self.memo_check.len() >= MEMO_CAPACITY {
@@ -380,6 +450,85 @@ impl Solver {
         result
     }
 
+    /// Returns a witness for a persistent path condition, consulting the
+    /// persistent counterexample cache first (KLEE-style): the path's conjunct
+    /// set is looked up exactly, then a cached witness for a *superset* of the
+    /// conjuncts is tried (anything satisfying more constraints satisfies
+    /// fewer). Every candidate drawn from disk is re-verified against the
+    /// materialised formula before being returned, so a stale or corrupt
+    /// cache can cost time but never produce a wrong witness. Cache-provided
+    /// `Unsat` answers are trusted only for the *exact* conjunct set (and
+    /// config), where they replay a verdict this same deterministic procedure
+    /// produced. Without an active cache this is just
+    /// [`Solver::check_path`] filtered to `Sat`.
+    pub fn model_path_cached(&mut self, path: &PathCond) -> Option<Model> {
+        if !self.persistent_enabled() {
+            return match self.check_path(path) {
+                SolverResult::Sat(m) => Some(m),
+                _ => None,
+            };
+        }
+        // The conjunct set, as an unordered bag of formula fingerprints, plus
+        // an always-present config atom: an `Unsat` entry replays a verdict of
+        // this decision procedure, so it must never cross config budgets.
+        let mut atoms = vec![fingerprint::combine(
+            fingerprint::DOMAIN_CEX,
+            &[self.config_fp()],
+        )];
+        let mut cursor = path.node();
+        while let Some(node) = cursor {
+            atoms.push(
+                node.interned_formula()
+                    .fingerprint_or(fingerprint::formula_fp),
+            );
+            cursor = node.parent().node();
+        }
+        match cache::cex_decide(&atoms) {
+            Some(cache::CexDecision::Exact { sat: false, .. }) => {
+                cache::record_cex_hit();
+                self.stats.cex_hits += 1;
+                return None;
+            }
+            Some(cache::CexDecision::Exact { model, .. })
+            | Some(cache::CexDecision::SupersetSat { model }) => {
+                if let Some(model) = self.verify_candidate(path, model) {
+                    cache::record_cex_hit();
+                    self.stats.cex_hits += 1;
+                    return Some(model);
+                }
+            }
+            // Subset-Unsat is advisory only: this solver's Unsat is based on
+            // bounded search, so a subset being "unsat" proves nothing about
+            // the superset under a different exploration — fall through.
+            Some(cache::CexDecision::SubsetUnsat) | None => {}
+        }
+        match self.check_path(path) {
+            SolverResult::Sat(model) => {
+                cache::cex_store(&atoms, true, &model);
+                Some(model)
+            }
+            SolverResult::Unsat => {
+                cache::cex_store(&atoms, false, &Model::new());
+                None
+            }
+            SolverResult::Unknown => None,
+        }
+    }
+
+    /// Re-verifies a cached witness candidate against the materialised path
+    /// formula, padding variables the formula mentions but the candidate does
+    /// not with zero (the same padding [`Solver::check`] applies to `Sat`
+    /// witnesses). Returns the padded model only if it actually satisfies.
+    fn verify_candidate(&self, path: &PathCond, mut model: Model) -> Option<Model> {
+        let formula = path.to_formula();
+        for var in formula.variables() {
+            if model.value(var.id).is_none() {
+                model.set(var.id, 0);
+            }
+        }
+        model.satisfies(&formula).then_some(model)
+    }
+
     fn check_path_inner(&mut self, path: &PathCond) -> SolverResult {
         let Some(node) = path.node() else {
             return SolverResult::Sat(Model::new());
@@ -425,9 +574,37 @@ impl Solver {
         }
         self.stats.memo_misses += 1;
         self.stats.content_misses += 1;
+        // The cube normalisation always runs exactly as it would cold (it
+        // also fills the node cache the prefix chain shares); the persistent
+        // layer can only skip `solve_cubes`, replaying the stored verdict and
+        // examined count. An overflow never consults the store — cold
+        // behaviour is `Unknown` without solving, and staying identical to it
+        // keeps reports byte-equal warm vs cold.
         let (result, examined) = match self.cubes_locked(&node, &mut guard, true) {
             Err(_) => (SolverResult::Unknown, 0),
-            Ok(cubes) => self.solve_cubes(&cubes),
+            Ok(cubes) => {
+                let persist_key = self.persistent_enabled().then(|| {
+                    fingerprint::combine(
+                        fingerprint::DOMAIN_PATH,
+                        &[node.fingerprint(), self.config_fp()],
+                    )
+                });
+                match persist_key.and_then(cache::lookup_verdict) {
+                    Some((result, examined)) => {
+                        self.stats.persisted_hits += 1;
+                        (result, examined)
+                    }
+                    None => {
+                        let (result, examined) = self.solve_cubes(&cubes);
+                        if let Some(key) = persist_key {
+                            self.stats.persisted_misses += 1;
+                            self.stats.persisted_stores += 1;
+                            cache::store_verdict(key, &result, examined);
+                        }
+                        (result, examined)
+                    }
+                }
+            }
         };
         self.stats.cubes_examined += examined;
         guard.result = Some(result.clone());
@@ -462,7 +639,35 @@ impl Solver {
             Err(_) => (SolverResult::Unknown, 0),
             Ok(prefix) => match append_conjunct(&prefix, extra, self.config.max_cubes) {
                 Err(_) => (SolverResult::Unknown, 0),
-                Ok(cubes) => self.solve_cubes(&cubes),
+                Ok(cubes) => {
+                    // Persistent layer, after the prefix reuse and conjunct
+                    // fold ran exactly as cold: only `solve_cubes` is skipped.
+                    let persist_key = self.persistent_enabled().then(|| {
+                        fingerprint::combine(
+                            fingerprint::DOMAIN_ASSUMING,
+                            &[
+                                path.fingerprint(),
+                                fingerprint::formula_fp(extra),
+                                self.config_fp(),
+                            ],
+                        )
+                    });
+                    match persist_key.and_then(cache::lookup_verdict) {
+                        Some((result, examined)) => {
+                            self.stats.persisted_hits += 1;
+                            (result, examined)
+                        }
+                        None => {
+                            let (result, examined) = self.solve_cubes(&cubes);
+                            if let Some(key) = persist_key {
+                                self.stats.persisted_misses += 1;
+                                self.stats.persisted_stores += 1;
+                                cache::store_verdict(key, &result, examined);
+                            }
+                            (result, examined)
+                        }
+                    }
+                }
             },
         };
         self.stats.cubes_examined += examined;
@@ -522,18 +727,65 @@ impl Solver {
         }
         self.stats.memo_misses += 1;
         self.stats.content_misses += 1;
-        // Quiet prefix access: whether the global memo already held the
-        // projection is warm-state-dependent, so the shared prefix counters
-        // must not be driven from here.
-        let (result, examined) = match self.prefix_cubes(path, false) {
-            Err(_) => {
-                self.stats.unknown += 1;
-                (None, 0)
+        // Persistent layer: consulted only when the tip is already cached,
+        // for the same reason the in-process memo is — a hit must replay a
+        // computation with *no* quiet-fill side effect on the prefix chain,
+        // or node-cache state would differ between warm and cold runs. When
+        // the tip is not cached the projection is computed cold (with its
+        // quiet fill) and stored without a lookup, so warm runs never report
+        // a projection miss for keys the cold run stored.
+        let persist_key = (tip_cached && self.persistent_enabled()).then(|| {
+            fingerprint::combine(
+                fingerprint::DOMAIN_PROJECTION,
+                &[
+                    path.fingerprint(),
+                    fingerprint::var_fp(var),
+                    self.config_fp(),
+                ],
+            )
+        });
+        let (result, examined) = match persist_key.and_then(cache::lookup_projection) {
+            Some((result, examined)) => {
+                self.stats.persisted_hits += 1;
+                match &result {
+                    Some(_) => self.stats.sat += 1,
+                    None => self.stats.unknown += 1,
+                }
+                (result, examined)
             }
-            Ok(cubes) => {
-                let (acc, examined) = self.project_cubes(&cubes, var);
-                self.stats.sat += 1;
-                (Some(acc), examined)
+            None => {
+                if persist_key.is_some() {
+                    self.stats.persisted_misses += 1;
+                }
+                // Quiet prefix access: whether the global memo already held
+                // the projection is warm-state-dependent, so the shared
+                // prefix counters must not be driven from here.
+                let (result, examined) = match self.prefix_cubes(path, false) {
+                    Err(_) => {
+                        self.stats.unknown += 1;
+                        (None, 0)
+                    }
+                    Ok(cubes) => {
+                        let (acc, examined) = self.project_cubes(&cubes, var);
+                        self.stats.sat += 1;
+                        (Some(acc), examined)
+                    }
+                };
+                if self.persistent_enabled() {
+                    let key = persist_key.unwrap_or_else(|| {
+                        fingerprint::combine(
+                            fingerprint::DOMAIN_PROJECTION,
+                            &[
+                                path.fingerprint(),
+                                fingerprint::var_fp(var),
+                                self.config_fp(),
+                            ],
+                        )
+                    });
+                    self.stats.persisted_stores += 1;
+                    cache::store_projection(key, &result, examined);
+                }
+                (result, examined)
             }
         };
         self.stats.cubes_examined += examined;

@@ -6,9 +6,10 @@
 //! 1. a [`GeneratorKind`] builds a [`FuzzScenario`] — a network, an identical
 //!    reference twin and the registered rule tables;
 //! 2. a seeded mutation layer perturbs the scenario through the typed
-//!    [`Delta`] vocabulary (MAC learn/age, route add/withdraw, NAT rebinds),
-//!    semantics-preserving table shuffles and link rewires — every mutation is
-//!    published into **both** networks, so they stay behaviorally identical;
+//!    [`Delta`] vocabulary (MAC learn/age, route add/withdraw, NAT rebinds,
+//!    positional ACL inserts/removes), semantics-preserving table shuffles
+//!    and link rewires — every mutation is published into **both** networks,
+//!    so they stay behaviorally identical;
 //! 3. the differential oracle symbolically explores the mutated network,
 //!    concretizes every delivered path with the solver model, replays the
 //!    concrete packet through the reference network's element programs
@@ -27,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use symnet_core::engine::{ExecConfig, PathStatus, SymNet};
 use symnet_core::network::{ElementId, Network};
+use symnet_models::acl::{AclAction, AclRule};
 use symnet_models::delta::{Delta, RuleTables, TableView};
 use symnet_models::nat::NatConfig;
 use symnet_models::router::{router_egress_with_ttl, Fib};
@@ -267,9 +269,36 @@ fn generate_mutations(scenario: &FuzzScenario, rng: &mut StdRng, max: usize) -> 
                     port_high: 50_000 + rng.gen::<u16>() % 15_000,
                 },
             },
-            // The generator family registers no ACLs; first-match-wins lists
-            // are covered by the service-delta tests instead.
-            TableView::Acl(_) => continue,
+            TableView::Acl(table) => {
+                if !table.rules.is_empty() && rng.gen::<bool>() {
+                    Delta::AclRemove {
+                        element,
+                        index: rng.gen_range(0..table.rules.len()),
+                    }
+                } else {
+                    // A positional insert anywhere in the list (including one
+                    // past the end) — a deny landing above a permit shadows
+                    // it, which is the shadowing semantics the replay oracle
+                    // must reproduce.
+                    let h = rng.gen::<u64>();
+                    Delta::AclInsert {
+                        element,
+                        index: rng.gen_range(0..table.rules.len() + 1),
+                        rule: AclRule {
+                            src: (h & 1 != 0).then_some(((h >> 8) as u32 & 0xffff_0000, 16)),
+                            dst: (h & 2 != 0)
+                                .then_some((0x0a00_0000 | ((h >> 24) as u32 & 0x00ff_ff00), 24)),
+                            proto: (h & 4 != 0).then_some(6),
+                            dst_port: (h & 8 != 0).then_some((h >> 40) & 0xffff),
+                            action: if h & 16 != 0 {
+                                AclAction::Deny
+                            } else {
+                                AclAction::Permit
+                            },
+                        },
+                    }
+                }
+            }
         };
         mutations.push(Mutation::Delta(delta));
     }
@@ -359,7 +388,10 @@ pub fn check_scenario(scenario: &FuzzScenario) -> Result<usize, String> {
         let PathStatus::Delivered { element, port } = path.status else {
             continue;
         };
-        let Some(model) = solver.model(&path.state.path_condition()) else {
+        // Cex-aware witness lookup: with a persistent cache active, a cached
+        // (re-verified) model for this conjunct set — or a superset of it —
+        // skips the solve entirely; without one this is a plain `check_path`.
+        let Some(model) = solver.model_path_cached(path.state.path_cond()) else {
             return Err(format!(
                 "path {} of {} was delivered at {element}#{port} but its path condition is unsatisfiable",
                 path.id, scenario.name

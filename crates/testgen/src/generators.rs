@@ -1,15 +1,17 @@
 //! The scenario-generator family of the differential fuzzer.
 //!
-//! Five seeded generators share one [`GeneratorConfig`]: the two pre-existing
-//! topologies (`random_switch_tree`, `ecmp_fanout`) plus three new families —
+//! Six seeded generators share one [`GeneratorConfig`]: the two pre-existing
+//! topologies (`random_switch_tree`, `ecmp_fanout`) plus four new families —
 //! [`fat_tree`] datacenter fabrics, [`isp_backbone`] chains with large LPM
-//! route tables, and [`tunnel_nat_chain`] stacks of NAT and IP-in-IP hops.
+//! route tables, [`tunnel_nat_chain`] stacks of NAT and IP-in-IP hops, and
+//! [`acl_gateway`] first-match-wins filter chains around a routed core.
 //! Every generator emits a [`FuzzScenario`]: the network under test, an
 //! identical *reference* network the concrete replay runs against, the
 //! [`RuleTables`] registry the mutation layer perturbs, and the injection
 //! point + packet of the scenario's canonical query.
 
 use symnet_core::network::{ElementId, Network};
+use symnet_models::acl::{acl_filter, AclAction, AclRule, AclTable};
 use symnet_models::delta::{RouterModel, RuleTables, SwitchModel};
 use symnet_models::nat::{nat, NatConfig};
 use symnet_models::router::{router_egress, router_egress_with_ttl, Fib};
@@ -71,7 +73,7 @@ pub struct FuzzScenario {
     pub max_hops: usize,
 }
 
-/// The five generator families, in campaign rotation order.
+/// The six generator families, in campaign rotation order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GeneratorKind {
     /// Seeded random tree of egress switches (shared MAC pool).
@@ -84,17 +86,20 @@ pub enum GeneratorKind {
     IspBackbone,
     /// NAT cascade feeding a nested IP-in-IP tunnel stack.
     TunnelNatChain,
+    /// Seeded first-match-wins ACL filters wrapping a routed core.
+    AclGateway,
 }
 
 impl GeneratorKind {
     /// Every generator family, in the order the fuzz campaign rotates
     /// through them.
-    pub const ALL: [GeneratorKind; 5] = [
+    pub const ALL: [GeneratorKind; 6] = [
         GeneratorKind::RandomSwitchTree,
         GeneratorKind::EcmpFanout,
         GeneratorKind::FatTree,
         GeneratorKind::IspBackbone,
         GeneratorKind::TunnelNatChain,
+        GeneratorKind::AclGateway,
     ];
 
     /// Stable name used in reports and failure reproduction lines.
@@ -105,6 +110,7 @@ impl GeneratorKind {
             GeneratorKind::FatTree => "fat_tree",
             GeneratorKind::IspBackbone => "isp_backbone",
             GeneratorKind::TunnelNatChain => "tunnel_nat_chain",
+            GeneratorKind::AclGateway => "acl_gateway",
         }
     }
 
@@ -116,6 +122,7 @@ impl GeneratorKind {
             GeneratorKind::FatTree => fat_tree(config),
             GeneratorKind::IspBackbone => isp_backbone(config),
             GeneratorKind::TunnelNatChain => tunnel_nat_chain(config),
+            GeneratorKind::AclGateway => acl_gateway(config),
         }
     }
 }
@@ -403,5 +410,91 @@ pub fn tunnel_nat_chain(config: &GeneratorConfig) -> FuzzScenario {
         first,
         symbolic_l3_tcp_packet(),
         (stages + 2 * depth + 2).max(8),
+    )
+}
+
+/// A pair of seeded first-match-wins ACL filters wrapping a routed core:
+///
+/// ```text
+/// acl_in → core (LPM over customer ports) → [port 1] acl_out → (out)
+/// ```
+///
+/// `entries` seeds both rule lists (random source/destination prefixes, TCP
+/// destination ports and protocol pins, mixed permit/deny, terminated by an
+/// explicit permit-any) and the core's FIB. Both ACL tables are registered,
+/// so the mutation layer exercises [`symnet_models::delta::Delta::AclInsert`]
+/// and `AclRemove` — positional edits whose shadowing semantics (a deny
+/// inserted above a permit wins) are exactly what the concrete replay must
+/// reproduce through the compiled if-chain.
+pub fn acl_gateway(config: &GeneratorConfig) -> FuzzScenario {
+    let entries = config.entries.clamp(2, 64);
+    let mut seed = config.seed;
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let seeded_rule = |h: u64| {
+        let mut rule = AclRule {
+            src: (h & 1 != 0).then_some(((h >> 8) as u32 & 0xffff_0000, 16)),
+            dst: (h & 2 != 0).then_some((0x0a00_0000 | ((h >> 24) as u32 & 0x00ff_ff00), 24)),
+            proto: (h & 4 != 0).then_some(6),
+            dst_port: (h & 8 != 0).then_some((h >> 40) & 0xffff),
+            action: if h & 16 != 0 {
+                AclAction::Deny
+            } else {
+                AclAction::Permit
+            },
+        };
+        // Never generate an unconditional deny: an early catch-all would
+        // shadow the whole list and blackhole every case of this seed.
+        if rule.src.is_none() && rule.dst.is_none() && rule.dst_port.is_none() {
+            rule.proto = Some(6);
+        }
+        rule
+    };
+    let mut table_in = AclTable::new();
+    let mut table_out = AclTable::new();
+    for _ in 0..entries {
+        table_in.push(seeded_rule(next()));
+        table_out.push(seeded_rule(next()));
+    }
+    // Default-permit tails so the unmutated gateway always delivers traffic.
+    table_in.push(AclRule::permit_any());
+    table_out.push(AclRule::permit_any());
+
+    // The routed core: customer /24s on ports 1..=3, default toward port 1
+    // (the egress filter). Ports 2 and 3 are unlinked delivery points.
+    let mut fib = Fib::new(4);
+    fib.add(0, 0, 1);
+    for _ in 0..entries {
+        let h = next();
+        fib.add(
+            0x0a00_0000 | (h as u32 & 0x00ff_ff00),
+            24,
+            1 + (h >> 32) as usize % 3,
+        );
+    }
+
+    let mut network = Network::new();
+    let mut tables = RuleTables::new();
+    let acl_in = network.add_element(acl_filter("acl_in", &table_in));
+    let core = network.add_element(router_egress("core", &fib));
+    let acl_out = network.add_element(acl_filter("acl_out", &table_out));
+    tables.register_acl(acl_in, "acl_in", table_in);
+    tables.register_router(core, "core", fib, RouterModel::Egress);
+    tables.register_acl(acl_out, "acl_out", table_out);
+    network.add_link(acl_in, 0, core, 0);
+    network.add_link(core, 1, acl_out, 0);
+
+    finish(
+        format!("acl_gateway(seed={}, entries={entries})", config.seed),
+        network,
+        tables,
+        acl_in,
+        symbolic_l3_tcp_packet(),
+        8,
     )
 }

@@ -436,3 +436,78 @@ pub fn replay_network(
     }
     replay
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symnet_core::engine::{ExecConfig, SymNet};
+    use symnet_models::acl::{acl_filter, AclAction, AclRule, AclTable};
+    use symnet_sefl::packet::symbolic_l3_tcp_packet;
+    use symnet_solver::{Model, Solver};
+
+    /// The replay interpreter covers `acl_filter`: the compiled
+    /// first-match-wins if-chain takes exactly the branch the concrete
+    /// packet satisfies. A permit is delivered at the filter's output and a
+    /// shadowing deny (port 22 above the permit-any tail) drops the packet —
+    /// in agreement with the symbolic side path-for-path.
+    #[test]
+    fn replay_covers_acl_filter() {
+        let mut table = AclTable::new();
+        table.push(AclRule {
+            src: None,
+            dst: None,
+            proto: None,
+            dst_port: Some(22),
+            action: AclAction::Deny,
+        });
+        table.push(AclRule::permit_any());
+
+        let mut network = Network::new();
+        let filter = network.add_element(acl_filter("gate", &table));
+        let engine = SymNet::with_config(network.clone(), ExecConfig::default().with_threads(1));
+        let report = engine.inject(filter, 0, &symbolic_l3_tcp_packet());
+        let next_var = report.injected.max_symbol_id().map_or(0, |id| id + 1);
+
+        let mut solver = Solver::default();
+        let mut delivered = 0usize;
+        for path in report.delivered() {
+            let model = solver
+                .model(&path.state.path_condition())
+                .expect("delivered ACL paths are satisfiable");
+            let injected = concretize_exec_state(&report.injected, &model);
+            let replay = replay_network(&network, filter, 0, injected, &model, next_var, 8);
+            assert!(
+                replay.delivered_at(filter, 0),
+                "a permitted concrete packet must clear the compiled if-chain"
+            );
+            let observed = &replay.outcomes[0].packet;
+            assert_ne!(
+                observed.fields.get("TcpDst"),
+                Some(&22),
+                "a packet to the denied port must never be delivered"
+            );
+            delivered += 1;
+        }
+        assert!(delivered > 0, "the permit-any tail must deliver traffic");
+
+        // The denied branch: pin TcpDst to 22 and replay — every copy drops.
+        let denied_model: Model = report
+            .delivered()
+            .next()
+            .map(|_| Model::new())
+            .expect("at least one delivered path");
+        let mut pinned = concretize_exec_state(&report.injected, &denied_model);
+        pinned
+            .write_field(
+                &symnet_sefl::fields::tcp_dst().field(),
+                Value::Concrete(22),
+                "",
+            )
+            .expect("tcp_dst present on the L3+TCP layout");
+        let replay = replay_network(&network, filter, 0, pinned, &denied_model, next_var, 8);
+        assert!(
+            replay.outcomes.is_empty() && replay.dropped > 0,
+            "a dst-port-22 packet must be dropped by the shadowing deny"
+        );
+    }
+}

@@ -10,7 +10,7 @@ use symnet_suite::testgen::generators::{GeneratorConfig, GeneratorKind};
 fn small_config() -> FuzzConfig {
     FuzzConfig {
         seed: 0xD1FF_5EED,
-        iters: 10, // two cases per generator family
+        iters: 12, // two cases per generator family (six families)
         generator: GeneratorConfig {
             seed: 0, // replaced per-case
             size: 4,
@@ -23,7 +23,7 @@ fn small_config() -> FuzzConfig {
 #[test]
 fn small_campaign_is_clean_across_all_generators() {
     let report = run_fuzz(&small_config());
-    assert_eq!(report.cases, 10);
+    assert_eq!(report.cases, 12);
     assert_eq!(
         report.per_generator.len(),
         GeneratorKind::ALL.len(),
